@@ -1,0 +1,24 @@
+"""Benchmark E10 — the sequentialised memory variant (footnote 2).
+
+Regenerates the comparison between four simultaneous distinct calls and the
+sequential one-call-with-memory model: ~4x the rounds, comparable cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_sequential import run_experiment
+
+
+def test_e10_sequential_variant(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    rows = table.to_records()
+    sizes = sorted({row["n"] for row in rows})
+    for n in sizes:
+        simultaneous = next(
+            r for r in rows if r["protocol"] == "algorithm1" and r["n"] == n
+        )
+        sequential = next(
+            r for r in rows if r["protocol"] == "algorithm1-sequential" and r["n"] == n
+        )
+        assert sequential["success_rate"] == 1.0
+        assert sequential["rounds_mean"] > 2 * simultaneous["rounds_mean"]

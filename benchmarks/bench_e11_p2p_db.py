@@ -1,0 +1,19 @@
+"""Benchmark E11 — replicated-database maintenance over a P2P overlay.
+
+Regenerates the gossip-rule comparison for concurrent updates, with and
+without churn (the paper's motivating application).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_p2p_db import run_experiment
+
+
+def test_e11_replicated_database(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    static_rows = [row for row in table.rows if row["leave_rate"] == 0.0]
+    assert all(row["replication_rate"] == 1.0 for row in static_rows)
+    push = next(r for r in static_rows if r["rule"] == "push")
+    algorithm1 = next(r for r in static_rows if r["rule"] == "algorithm1")
+    # The paper's rule converges in fewer rounds than push-only mongering.
+    assert algorithm1["convergence_rounds"] < push["convergence_rounds"]

@@ -1,0 +1,16 @@
+"""Benchmark E12 — degree sweep across the Algorithm 1 / Algorithm 2 regimes.
+
+Regenerates the table comparing the two algorithms as the degree grows from a
+small constant up to ~2·log₂ n.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_degree_sweep import run_experiment
+
+
+def test_e12_degree_sweep(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    assert all(row["success_rate"] == 1.0 for row in table.rows)
+    degrees = {row["d"] for row in table.rows}
+    assert len(degrees) >= 3

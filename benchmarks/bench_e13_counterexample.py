@@ -1,0 +1,17 @@
+"""Benchmark E13 — the product-with-K5 counterexample (paper Conclusions).
+
+Regenerates the matched-size comparison between a plain random regular graph
+and the Cartesian product of a random regular graph with K5.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_counterexample import run_experiment
+
+
+def test_e13_counterexample(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    assert len(table.rows) == 4
+    assert all(row["success_rate"] == 1.0 for row in table.rows)
+    topologies = {row["topology"] for row in table.rows}
+    assert topologies == {"random-regular", "product-K5"}

@@ -1,0 +1,17 @@
+"""Benchmark E2 — message complexity (O(n log log n) vs Θ(n log n)).
+
+Regenerates the "transmissions per node vs n" table together with the
+scaling-law fits that distinguish the two growth laws.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_message_complexity import run_experiment
+
+
+def test_e2_message_complexity(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    assert all(row["tx_per_node"] > 0 for row in table.rows)
+    # The per-protocol scaling-law notes must be present (they carry the
+    # qualitative conclusion of the experiment).
+    assert any("best-fitting growth law" in note for note in table.notes)

@@ -1,0 +1,21 @@
+"""Benchmark E3 — the Ω(n·log n / log d) lower bound for the one-call model.
+
+Regenerates the degree sweep and size sweep comparing the best one-call
+protocol against the four-choice Algorithm 1 and against the bound's value.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_lower_bound import run_experiment
+
+
+def test_e3_lower_bound(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    one_call = [row for row in table.rows if row["protocol"] == "push-pull-1"]
+    # The one-call measurements always dominate the (unit-constant) bound
+    # shape up to a modest factor.
+    assert all(row["ratio_to_bound"] > 0.5 for row in one_call)
+    # The bound column decreases as the degree increases (the 1/log d shape).
+    degree_rows = [row for row in one_call if row["sweep"] == "degree"]
+    bounds = [row["bound_per_node"] for row in degree_rows]
+    assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,22 @@
+"""Benchmark E4 — Algorithm 1 phase dynamics and the α ablation.
+
+Regenerates the per-phase profile (growth in Phase 1, decay in Phase 2, the
+single pull round of Phase 3) and the α sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_phase_dynamics import run_experiment
+
+
+def test_e4_phase_dynamics(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    profile = {row["phase"]: row for row in table.rows if row["block"] == "profile"}
+    # Phase 1: exponential growth at O(n) transmissions.
+    assert profile["phase1"]["growth_factor"] > 1.2
+    assert profile["phase1"]["transmissions"] <= 4 * profile["phase1"]["informed_end"] * 2
+    # Phase 3 is one pull round.
+    assert profile["phase3"]["rounds"] == 1
+    # All alpha settings in the ablation complete.
+    ablation = [row for row in table.rows if row["block"] == "alpha-ablation"]
+    assert all(row["success_rate"] == 1.0 for row in ablation)

@@ -1,0 +1,19 @@
+"""Benchmark E5 — push vs pull vs push&pull on complete graphs (Karp et al.).
+
+Regenerates the complete-graph comparison: the pull/push&pull endgame is far
+shorter than push's, which is where the O(n log log n) economy comes from.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_push_vs_pull import run_experiment
+
+
+def test_e5_push_vs_pull(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    rows = table.to_records()
+    sizes = sorted({row["n"] for row in rows})
+    for n in sizes:
+        push_tail = next(r["tail_rounds"] for r in rows if r["protocol"] == "push" and r["n"] == n)
+        pull_tail = next(r["tail_rounds"] for r in rows if r["protocol"] == "pull" and r["n"] == n)
+        assert pull_tail < push_tail

@@ -1,0 +1,18 @@
+"""Benchmark E6/E7 — robustness to message loss and size-estimate error.
+
+Regenerates the loss-probability sweep and the size-estimate sweep for
+Algorithm 1 (with push as a comparison baseline for the loss block).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_robustness import run_experiment
+
+
+def test_e6_e7_robustness(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    loss_rows = [row for row in table.rows if row["block"] == "message-loss"]
+    estimate_rows = [row for row in table.rows if row["block"] == "size-estimate"]
+    # Limited loss and constant-factor estimate errors never break completion.
+    assert all(row["success_rate"] == 1.0 for row in loss_rows)
+    assert all(row["success_rate"] == 1.0 for row in estimate_rows)

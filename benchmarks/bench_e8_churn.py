@@ -1,0 +1,15 @@
+"""Benchmark E8 — broadcast under membership churn.
+
+Regenerates the churn-rate sweep: with a few percent of the network replaced
+per round, the surviving peers still all receive the message.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_churn import run_experiment
+
+
+def test_e8_churn(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    algorithm_rows = [row for row in table.rows if row["protocol"] == "algorithm1"]
+    assert all(row["informed_fraction"] > 0.95 for row in algorithm_rows)

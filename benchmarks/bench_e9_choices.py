@@ -1,0 +1,18 @@
+"""Benchmark E9 — how many distinct choices per round are needed.
+
+Regenerates the fanout ablation: 4 (and already 3) choices drive the Phase-1
+epidemic supercritically, while a single choice stalls.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_choices_ablation import run_experiment
+
+
+def test_e9_choices_ablation(run_table_benchmark):
+    table = run_table_benchmark(run_experiment, quick=True)
+    by_fanout = {row["fanout"]: row for row in table.rows}
+    assert by_fanout[4]["success_rate"] == 1.0
+    assert by_fanout[3]["success_rate"] == 1.0
+    # One choice leaves phase 1 essentially stalled relative to four choices.
+    assert by_fanout[1]["informed_after_phase1"] < 0.1 * by_fanout[4]["informed_after_phase1"]

@@ -1,0 +1,33 @@
+"""Micro-benchmarks of the substrates (not tied to a paper table).
+
+These measure the two hot paths of the library — configuration-model graph
+generation and a full Algorithm 1 broadcast — so performance regressions in
+the simulator itself are visible separately from the experiment tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import run_broadcast
+from repro.core.rng import RandomSource
+from repro.graphs.configuration_model import random_regular_graph
+from repro.protocols.algorithm1 import Algorithm1
+from repro.protocols.push import PushProtocol
+
+
+def test_generate_regular_graph_4096(benchmark):
+    result = benchmark(
+        lambda: random_regular_graph(4096, 8, RandomSource(seed=1), strategy="repair")
+    )
+    assert result.node_count == 4096
+
+
+def test_algorithm1_broadcast_4096(benchmark):
+    graph = random_regular_graph(4096, 8, RandomSource(seed=2), strategy="repair")
+    result = benchmark(lambda: run_broadcast(graph, Algorithm1(n_estimate=4096), seed=3))
+    assert result.success
+
+
+def test_push_broadcast_4096(benchmark):
+    graph = random_regular_graph(4096, 8, RandomSource(seed=2), strategy="repair")
+    result = benchmark(lambda: run_broadcast(graph, PushProtocol(n_estimate=4096), seed=3))
+    assert result.success

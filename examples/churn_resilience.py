@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Broadcasting while peers join and leave.
+
+Peer-to-peer overlays change during a broadcast.  This example runs
+Algorithm 1 over a random regular graph while a churn model removes and adds
+peers every round, at increasing churn rates, and reports what fraction of the
+surviving peers received the message and how the cost changes — the paper's
+"robust against limited changes in the size of the network" claim.
+
+Run with:  python examples/churn_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro import Algorithm1, RandomSource, UniformChurn, random_regular_graph
+from repro.core.engine import RoundEngine
+from repro.experiments import Table
+
+
+def main() -> None:
+    n, d, seed = 2048, 8, 11
+    base_graph = random_regular_graph(n, d, RandomSource(seed=seed))
+
+    table = Table(
+        title=f"Algorithm 1 under churn (n = {n}, d = {d})",
+        columns=[
+            "churn_per_round",
+            "informed_fraction",
+            "rounds",
+            "tx_per_node",
+            "final_peers",
+        ],
+    )
+
+    for rate in [0.0, 0.005, 0.01, 0.02, 0.05]:
+        churn = (
+            UniformChurn(leave_rate=rate, join_rate=rate, target_degree=d)
+            if rate > 0
+            else None
+        )
+        engine = RoundEngine(
+            graph=base_graph.copy(),
+            protocol=Algorithm1(n_estimate=n),
+            seed=seed,
+            churn_model=churn,
+        )
+        result = engine.run(source=0)
+        final_peers = result.metadata["final_node_count"]
+        table.add_row(
+            churn_per_round=rate,
+            informed_fraction=result.final_informed / final_peers,
+            rounds=(
+                result.rounds_to_completion
+                if result.rounds_to_completion is not None
+                else result.rounds_executed
+            ),
+            tx_per_node=result.transmissions_per_node,
+            final_peers=final_peers,
+        )
+
+    print(table.render())
+    print(
+        "\nEven with a few percent of the network replaced every round, the "
+        "broadcast still reaches essentially every surviving peer; joiners that "
+        "arrive after the message's horizon rely on the replicated-database "
+        "layer's next update (see examples/p2p_database_sync.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Replicated-database maintenance over a peer-to-peer overlay.
+
+This is the application the paper motivates: a database replicated at every
+peer of a P2P overlay, kept consistent by gossiping updates.  The example
+builds a 512-peer overlay, injects a stream of concurrent updates, and
+compares push-only rumour mongering with the paper's Algorithm 1 rule on
+convergence time and per-update cost, finishing with a consistency check
+across all replicas.
+
+Run with:  python examples/p2p_database_sync.py
+"""
+
+from __future__ import annotations
+
+from repro.core.rng import RandomSource
+from repro.p2p import (
+    Algorithm1Rule,
+    Overlay,
+    PushRule,
+    ReplicatedDatabase,
+    UpdateWorkload,
+)
+
+
+def run_rule(name: str, rule, seed: int) -> None:
+    rng = RandomSource(seed=seed, name=name)
+    overlay = Overlay(n=512, degree=8, rng=rng.spawn("overlay"))
+    database = ReplicatedDatabase(overlay=overlay, rule=rule, rng=rng.spawn("db"))
+    workload = UpdateWorkload(updates_per_round=3, injection_rounds=8, keys=16)
+
+    report = database.run(workload)
+    print(f"{name}:")
+    print(f"  updates created:              {report.updates_created}")
+    print(f"  fully replicated:             {report.updates_fully_replicated}")
+    print(f"  mean convergence rounds:      {report.mean_convergence_rounds:.1f}")
+    print(f"  transmissions / update / peer: {report.transmissions_per_update_per_peer:.2f}")
+    print(f"  payload transferred:          {report.total_payload_bytes / 1024:.0f} KiB")
+    print(f"  all replicas agree:           {database.replicas_agree()}")
+    print()
+
+
+def main() -> None:
+    print("Replicated database over a 512-peer random 8-regular overlay.\n")
+    run_rule("push-only rumour mongering", PushRule(n_estimate=512), seed=7)
+    run_rule("Algorithm 1 gossip rule", Algorithm1Rule(n_estimate=512), seed=7)
+    print(
+        "Algorithm 1 converges in roughly half the rounds because its single pull "
+        "round plus the active-push tail mops up the last replicas quickly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare every bundled protocol on the same random regular graph.
+
+This example exercises the protocol registry and the aggregation helpers: it
+runs each protocol several times over one graph and prints a comparison table
+(rounds, transmissions per node, channels opened per node, success rate).
+
+Run with:  python examples/protocol_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import RandomSource, aggregate_runs, random_regular_graph
+from repro.experiments import Table, repeat_broadcast
+from repro.protocols import available_protocols, build_protocol
+
+
+def main() -> None:
+    n, d, seed, repetitions = 2048, 8, 42, 5
+
+    print(f"Graph: random {d}-regular, n = {n}; {repetitions} runs per protocol.\n")
+    graph = random_regular_graph(n, d, RandomSource(seed=seed))
+
+    table = Table(
+        title=f"Protocol comparison on a random {d}-regular graph (n = {n})",
+        columns=["protocol", "rounds", "tx_per_node", "channels_per_node", "success"],
+    )
+
+    for name in available_protocols():
+        results = repeat_broadcast(
+            graph=graph,
+            protocol_factory=lambda n_est, protocol=name: build_protocol(protocol, n_est),
+            n_estimate=n,
+            seeds=[seed + i for i in range(repetitions)],
+        )
+        aggregate = aggregate_runs(results)
+        table.add_row(
+            protocol=name,
+            rounds=aggregate.rounds.mean,
+            tx_per_node=aggregate.transmissions_per_node.mean,
+            channels_per_node=aggregate.channels_per_node.mean,
+            success=aggregate.success_rate,
+        )
+
+    print(table.render())
+    print(
+        "\nNote how the four-choice protocols finish in fewer rounds, and how the "
+        "sequential variant trades rounds for the same transmission budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: broadcast one message over a random regular graph.
+
+Builds a random 8-regular graph with the configuration model, runs the
+paper's Algorithm 1 (four distinct choices per round) and the classical push
+protocol, and prints the headline numbers the paper is about: rounds to
+completion and message transmissions per node.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Algorithm1,
+    PushProtocol,
+    RandomSource,
+    random_regular_graph,
+    run_broadcast,
+)
+
+
+def main() -> None:
+    n, d, seed = 4096, 8, 2008
+
+    print(f"Generating a random {d}-regular graph on {n} nodes (configuration model)...")
+    graph = random_regular_graph(n, d, RandomSource(seed=seed))
+
+    print("\nRunning Algorithm 1 (four distinct choices per round)...")
+    algorithm1 = run_broadcast(graph, Algorithm1(n_estimate=n), source=0, seed=seed)
+    print(f"  completed:            {algorithm1.success}")
+    print(f"  rounds:               {algorithm1.rounds_to_completion}")
+    print(f"  transmissions:        {algorithm1.total_transmissions}")
+    print(f"  transmissions / node: {algorithm1.transmissions_per_node:.2f}")
+
+    print("\nRunning the classical push protocol (one choice per round)...")
+    push = run_broadcast(graph, PushProtocol(n_estimate=n), source=0, seed=seed)
+    print(f"  completed:            {push.success}")
+    print(f"  rounds:               {push.rounds_to_completion}")
+    print(f"  transmissions:        {push.total_transmissions}")
+    print(f"  transmissions / node: {push.transmissions_per_node:.2f}")
+
+    print(
+        "\nThe paper's claim: as n grows, Algorithm 1's per-node cost grows like "
+        "log log n while push grows like log n — run "
+        "`repro-broadcast experiment E2` to see the sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

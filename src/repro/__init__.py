@@ -1,0 +1,113 @@
+"""repro — randomised broadcasting in random regular networks.
+
+A faithful, simulation-backed reproduction of Berenbrink, Elsässer and
+Friedetzky, *"Efficient randomised broadcasting in random regular networks
+with applications in peer-to-peer systems"* (PODC 2008 / Distributed
+Computing 2016).
+
+Quickstart
+----------
+
+>>> from repro import RandomSource, random_regular_graph, Algorithm1, run_broadcast
+>>> rng = RandomSource(seed=1)
+>>> graph = random_regular_graph(n=1024, d=8, rng=rng)
+>>> result = run_broadcast(graph, Algorithm1(n_estimate=1024), seed=1)
+>>> result.success
+True
+
+The public API re-exports the most commonly used pieces; the sub-packages
+(:mod:`repro.core`, :mod:`repro.graphs`, :mod:`repro.protocols`,
+:mod:`repro.failures`, :mod:`repro.p2p`, :mod:`repro.analysis`,
+:mod:`repro.experiments`) expose the full surface.
+"""
+
+from .core import (
+    ConfigurationError,
+    GraphGenerationError,
+    NodeState,
+    RandomSource,
+    ReproError,
+    RoundEngine,
+    RoundRecord,
+    RunAggregate,
+    RunResult,
+    SimulationConfig,
+    SimulationError,
+    StateTable,
+    aggregate_runs,
+    run_broadcast,
+)
+from .failures import (
+    EstimateError,
+    IndependentLoss,
+    NoChurn,
+    ReliableDelivery,
+    UniformChurn,
+)
+from .graphs import (
+    Graph,
+    complete_graph,
+    connected_random_regular_graph,
+    gnp_graph,
+    hypercube_graph,
+    pairing_multigraph,
+    random_regular_graph,
+)
+from .protocols import (
+    Algorithm1,
+    Algorithm2,
+    BroadcastProtocol,
+    PullProtocol,
+    PushProtocol,
+    PushPullProtocol,
+    QuasirandomPushProtocol,
+    SequentialAlgorithm1,
+    available_protocols,
+    build_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "RandomSource",
+    "SimulationConfig",
+    "RoundEngine",
+    "run_broadcast",
+    "RunResult",
+    "RoundRecord",
+    "RunAggregate",
+    "aggregate_runs",
+    "NodeState",
+    "StateTable",
+    "ReproError",
+    "ConfigurationError",
+    "GraphGenerationError",
+    "SimulationError",
+    # graphs
+    "Graph",
+    "random_regular_graph",
+    "connected_random_regular_graph",
+    "pairing_multigraph",
+    "complete_graph",
+    "gnp_graph",
+    "hypercube_graph",
+    # protocols
+    "BroadcastProtocol",
+    "PushProtocol",
+    "PullProtocol",
+    "PushPullProtocol",
+    "Algorithm1",
+    "Algorithm2",
+    "SequentialAlgorithm1",
+    "QuasirandomPushProtocol",
+    "build_protocol",
+    "available_protocols",
+    # failures
+    "IndependentLoss",
+    "ReliableDelivery",
+    "UniformChurn",
+    "NoChurn",
+    "EstimateError",
+]

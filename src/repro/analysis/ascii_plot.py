@@ -1,0 +1,160 @@
+"""Terminal-friendly ASCII plots for simulation curves.
+
+The experiments live in a terminal/pytest world, so instead of depending on a
+plotting stack the library renders small ASCII charts: the informed-nodes
+trajectory of a broadcast, uninformed-decay curves on a log scale, and simple
+multi-series comparisons.  The plots are intentionally coarse — their job is
+to make the *shape* (exponential growth, doubly-exponential decay, phase
+boundaries) visible in a README, an example script, or a test log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ascii_series", "ascii_informed_curve", "ascii_multi_series"]
+
+
+def _scale_to_rows(values: Sequence[float], height: int, log_scale: bool) -> List[int]:
+    """Map values onto integer rows ``0 .. height-1`` (0 = bottom)."""
+    transformed = []
+    for value in values:
+        if log_scale:
+            transformed.append(math.log10(max(value, 1e-12)))
+        else:
+            transformed.append(float(value))
+    low, high = min(transformed), max(transformed)
+    if math.isclose(low, high):
+        return [0 for _ in transformed]
+    return [
+        int(round((value - low) / (high - low) * (height - 1))) for value in transformed
+    ]
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    log_scale: bool = False,
+    marker: str = "*",
+) -> str:
+    """Render one series as an ASCII chart.
+
+    Values are resampled to at most ``width`` columns (taking the value at the
+    nearest index), then scaled into ``height`` text rows.  The x axis is the
+    series index (round number for broadcast curves).
+    """
+    if not values:
+        raise ConfigurationError("cannot plot an empty series")
+    if width < 2 or height < 2:
+        raise ConfigurationError("plot dimensions must be at least 2x2")
+
+    count = len(values)
+    columns = min(width, count)
+    sampled = [values[int(i * (count - 1) / max(1, columns - 1))] for i in range(columns)]
+    rows = _scale_to_rows(sampled, height, log_scale)
+
+    grid = [[" "] * columns for _ in range(height)]
+    for x, row in enumerate(rows):
+        grid[height - 1 - row][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{max(values):g}"
+    bottom_label = f"{min(values):g}"
+    for index, row_cells in enumerate(grid):
+        prefix = top_label if index == 0 else (bottom_label if index == height - 1 else "")
+        lines.append(f"{prefix:>10} |" + "".join(row_cells))
+    lines.append(" " * 11 + "+" + "-" * columns)
+    lines.append(" " * 12 + f"1 .. {count} (x = series index)")
+    return "\n".join(lines)
+
+
+def ascii_informed_curve(
+    informed_counts: Sequence[int],
+    n: int,
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Plot an informed-nodes trajectory together with its uninformed decay.
+
+    The top chart shows the informed count per round (linear scale); the
+    bottom chart shows the number of *uninformed* nodes on a log scale, which
+    is where Phase 2's geometric decay and the pull phase's collapse are
+    visible.
+    """
+    if not informed_counts:
+        raise ConfigurationError("cannot plot an empty trajectory")
+    if any(count < 0 or count > n for count in informed_counts):
+        raise ConfigurationError("informed counts must lie in [0, n]")
+    caption = title if title is not None else f"informed nodes per round (n = {n})"
+    informed_plot = ascii_series(
+        list(informed_counts), width=width, height=height, title=caption
+    )
+    uninformed = [max(n - count, 0) for count in informed_counts]
+    # Clamp zeros for the log plot; the final collapse still reads clearly.
+    decay_plot = ascii_series(
+        [max(value, 0.5) for value in uninformed],
+        width=width,
+        height=height,
+        title="uninformed nodes per round (log scale)",
+        log_scale=True,
+        marker="o",
+    )
+    return informed_plot + "\n\n" + decay_plot
+
+
+def ascii_multi_series(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Overlay several series in one chart, one marker character per series."""
+    if not series:
+        raise ConfigurationError("cannot plot an empty set of series")
+    markers = "*o+x#@%&"
+    if len(series) > len(markers):
+        raise ConfigurationError(f"at most {len(markers)} series are supported")
+
+    longest = max(len(values) for values in series.values())
+    if longest == 0:
+        raise ConfigurationError("all series are empty")
+    columns = min(width, longest)
+
+    all_values: List[float] = []
+    for values in series.values():
+        all_values.extend(float(v) for v in values)
+    grid = [[" "] * columns for _ in range(height)]
+
+    for marker, (name, values) in zip(markers, series.items()):
+        if not values:
+            continue
+        count = len(values)
+        sampled = [
+            values[int(i * (count - 1) / max(1, columns - 1))] for i in range(columns)
+        ]
+        # Scale against the global range so the series are comparable.
+        combined = list(sampled) + [min(all_values), max(all_values)]
+        rows = _scale_to_rows(combined, height, log_scale)[: len(sampled)]
+        for x, row in enumerate(rows):
+            grid[height - 1 - row][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_cells in grid:
+        lines.append("  |" + "".join(row_cells))
+    lines.append("  +" + "-" * columns)
+    legend = ", ".join(
+        f"{marker} = {name}" for marker, name in zip(markers, series.keys())
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Closed-form bounds and constants from the paper and related work.
+
+These functions turn the asymptotic statements of the paper into concrete
+numbers for a given ``(n, d)`` so that experiments can plot measured values
+against the predicted shapes:
+
+* :func:`lower_bound_transmissions` — Theorem 1's ``Ω(n·log n / log d)``
+  lower bound for strictly oblivious one-call algorithms (reported with unit
+  constant; the paper's own constant is far smaller, so any measurement that
+  scales like the bound dominates it).
+* :func:`algorithm1_transmission_bound` — the ``O(n·log log n)`` upper bound
+  with the explicit constants of the Algorithm 1 schedule.
+* :func:`push_transmission_estimate` — the classical ``Θ(n·log n)`` cost of
+  the push protocol.
+* :func:`fountoulakis_panagiotou_constant` — the constant ``C_d`` such that
+  plain push on a random d-regular graph needs ``(1+o(1))·C_d·ln n`` rounds.
+* :func:`karp_phase_estimates` — the push/pull phase behaviour on complete
+  graphs described by Karp et al. (used by experiment E5).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "lower_bound_transmissions",
+    "algorithm1_transmission_bound",
+    "push_transmission_estimate",
+    "push_round_estimate",
+    "fountoulakis_panagiotou_constant",
+    "pull_endgame_rounds",
+    "karp_phase_estimates",
+]
+
+
+def _check_n_d(n: int, d: int) -> None:
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    if d < 2:
+        raise ConfigurationError(f"d must be >= 2, got {d}")
+
+
+def lower_bound_transmissions(n: int, d: int, constant: float = 1.0) -> float:
+    """Theorem 1 lower bound ``constant · n·log₂ n / log₂ d``.
+
+    Any strictly oblivious, distributed, O(log n)-time Monte Carlo algorithm
+    in the standard (one-call) random phone call model needs at least this
+    many transmissions (up to the constant) on a random d-regular graph.
+    """
+    _check_n_d(n, d)
+    return constant * n * math.log2(n) / math.log2(d)
+
+
+def algorithm1_transmission_bound(n: int, alpha: float = 1.0, fanout: int = 4) -> float:
+    """Explicit-constant version of the paper's ``O(n·log log n)`` upper bound.
+
+    Phase 1 contributes ``fanout·n`` (each node transmits once over ``fanout``
+    channels), Phase 2 contributes ``fanout·n·⌈α·log log n⌉`` (every node
+    transmits in every Phase-2 round), Phase 3 contributes ``fanout·n`` (one
+    pull round answers all ``fanout·n`` incoming calls), and Phase 4 is
+    ``o(n)``.  The result is an upper-envelope estimate of the full-schedule
+    transmission count, not a high-probability bound.
+    """
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    log_n = math.log2(n)
+    loglog_n = max(1.0, math.log2(max(2.0, log_n)))
+    phase1 = fanout * n
+    phase2 = fanout * n * math.ceil(alpha * loglog_n)
+    phase3 = fanout * n
+    return float(phase1 + phase2 + phase3)
+
+
+def push_round_estimate(n: int) -> float:
+    """Rounds the classical push protocol needs on well-connected graphs.
+
+    Frieze & Grimmett / Pittel: ``log₂ n + ln n + O(1)`` on the complete
+    graph; random regular graphs with moderate degree behave within a small
+    constant factor of this.
+    """
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    return math.log2(n) + math.log(n)
+
+
+def push_transmission_estimate(n: int) -> float:
+    """The ``Θ(n·log n)`` transmission cost of push run to completion.
+
+    During the shrinking phase (roughly the final ``ln n`` rounds) essentially
+    all ``n`` nodes transmit every round, so ``n·ln n`` dominates.
+    """
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    return n * math.log(n)
+
+
+def fountoulakis_panagiotou_constant(d: int) -> float:
+    """The constant ``C_d`` of Fountoulakis & Panagiotou (RANDOM 2010).
+
+    Plain push on a random d-regular graph broadcasts within
+    ``(1 + o(1))·C_d·ln n`` rounds where
+
+        C_d = 1 / ln(2·(1 − 1/d)) − 1 / (d·ln(1 − 1/d)).
+    """
+    if d < 2:
+        raise ConfigurationError(f"d must be >= 2, got {d}")
+    first = 1.0 / math.log(2.0 * (1.0 - 1.0 / d))
+    second = 1.0 / (d * math.log(1.0 - 1.0 / d))
+    return first - second
+
+
+def pull_endgame_rounds(n: int, d: int) -> float:
+    """Rounds a one-call pull endgame needs to catch the last node, ``≈ log_d n``.
+
+    This is the source of the ``log n / log d`` factor in the lower bound: an
+    uninformed node whose neighbours are all informed still needs a geometric
+    number of rounds (success probability ``1 − 1/d`` per round is optimistic;
+    ``log_d n`` rounds are required before the *last* of ``Θ(n)`` such nodes
+    succeeds with high probability).
+    """
+    _check_n_d(n, d)
+    return math.log(n) / math.log(d)
+
+
+def karp_phase_estimates(n: int) -> dict:
+    """Karp et al.'s complete-graph phase picture, used by experiment E5.
+
+    Returns the estimated number of rounds until half the nodes are informed
+    (``log₂ n``), the extra rounds pull needs to finish from there
+    (``O(log log n)``), and the extra rounds push needs (``ln n``).
+    """
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    log_n = math.log2(n)
+    return {
+        "rounds_to_half": log_n,
+        "pull_tail_rounds": max(1.0, math.log2(max(2.0, math.log2(n)))),
+        "push_tail_rounds": math.log(n),
+    }

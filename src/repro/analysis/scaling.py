@@ -1,0 +1,116 @@
+"""Scaling-law fits used to compare measured curves against asymptotics.
+
+The paper's claims are asymptotic (``O(log n)`` rounds, ``O(n·log log n)``
+transmissions, ``Ω(n·log n / log d)`` for the one-call model).  At the sizes a
+simulation can reach, constants matter, so the experiments do not compare raw
+numbers against the bounds; instead they fit each measured curve against the
+candidate growth laws and report which law explains the data best.  A curve
+whose per-node transmission count fits ``a + b·log log n`` with small residual
+while fitting ``a + b·log n`` poorly reproduces the paper's "O(n log log n)"
+shape; the reverse identifies ``Θ(n·log n)`` behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ScalingFit", "fit_scaling_law", "compare_scaling_laws", "GROWTH_LAWS"]
+
+
+def _log(n: float) -> float:
+    return math.log2(max(2.0, n))
+
+
+def _loglog(n: float) -> float:
+    return math.log2(max(2.0, _log(n)))
+
+
+#: The candidate growth laws, mapping a name to ``g(n)`` such that the model
+#: is ``y ≈ a + b·g(n)``.
+GROWTH_LAWS: Dict[str, Callable[[float], float]] = {
+    "constant": lambda n: 0.0,
+    "loglog": _loglog,
+    "log": _log,
+    "sqrt-log": lambda n: math.sqrt(_log(n)),
+    "linear": lambda n: float(n),
+}
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Result of fitting ``y ≈ a + b·g(n)`` for one growth law."""
+
+    law: str
+    intercept: float
+    slope: float
+    residual_rms: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """The fitted value at ``n``."""
+        return self.intercept + self.slope * GROWTH_LAWS[self.law](n)
+
+
+def fit_scaling_law(
+    sizes: Sequence[float], values: Sequence[float], law: str
+) -> ScalingFit:
+    """Least-squares fit of ``values ≈ a + b·g(sizes)`` for one growth law."""
+    if law not in GROWTH_LAWS:
+        raise ConfigurationError(
+            f"unknown growth law {law!r}; available: {sorted(GROWTH_LAWS)}"
+        )
+    if len(sizes) != len(values):
+        raise ConfigurationError("sizes and values must have equal length")
+    if len(sizes) < 2:
+        raise ConfigurationError("need at least two points to fit a scaling law")
+
+    transform = GROWTH_LAWS[law]
+    x = np.array([transform(float(n)) for n in sizes], dtype=float)
+    y = np.array([float(v) for v in values], dtype=float)
+
+    if np.allclose(x, x[0]):
+        # Constant law (or degenerate data): the best fit is the mean.
+        intercept = float(np.mean(y))
+        slope = 0.0
+        predictions = np.full_like(y, intercept)
+    else:
+        design = np.column_stack([np.ones_like(x), x])
+        coefficients, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+        intercept, slope = float(coefficients[0]), float(coefficients[1])
+        predictions = design @ coefficients
+
+    residuals = y - predictions
+    rms = float(np.sqrt(np.mean(residuals**2)))
+    total_variance = float(np.sum((y - np.mean(y)) ** 2))
+    if total_variance == 0:
+        r_squared = 1.0
+    else:
+        r_squared = 1.0 - float(np.sum(residuals**2)) / total_variance
+    return ScalingFit(
+        law=law, intercept=intercept, slope=slope, residual_rms=rms, r_squared=r_squared
+    )
+
+
+def compare_scaling_laws(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    laws: Sequence[str] = ("constant", "loglog", "log"),
+) -> List[ScalingFit]:
+    """Fit several growth laws and return them sorted by residual (best first)."""
+    fits = [fit_scaling_law(sizes, values, law) for law in laws]
+    return sorted(fits, key=lambda fit: fit.residual_rms)
+
+
+def best_scaling_law(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    laws: Sequence[str] = ("constant", "loglog", "log"),
+) -> ScalingFit:
+    """The growth law with the smallest residual for the given data."""
+    return compare_scaling_laws(sizes, values, laws)[0]

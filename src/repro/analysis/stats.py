@@ -1,0 +1,95 @@
+"""Small statistics helpers shared by experiments and tests.
+
+Nothing here is clever; the point is to keep confidence-interval and summary
+logic in one tested place instead of re-deriving it in every experiment
+module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["mean", "std", "median", "percentile", "confidence_interval", "Summary"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation; raises on empty input."""
+    if not values:
+        raise ConfigurationError("std of empty sequence")
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of middle two for even lengths)."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in ``[0, 100]``."""
+    if not values:
+        raise ConfigurationError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(ordered[low])
+    weight = position - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+def confidence_interval(values: Sequence[float], z: float = 1.96) -> tuple:
+    """Normal-approximation confidence interval for the mean.
+
+    Returns ``(lower, upper)``.  ``z = 1.96`` gives the familiar 95% interval;
+    for the small repetition counts used in the experiments this is an
+    approximation, which is fine for the qualitative comparisons made here.
+    """
+    if not values:
+        raise ConfigurationError("confidence interval of empty sequence")
+    centre = mean(values)
+    if len(values) == 1:
+        return (centre, centre)
+    spread = std(values) / math.sqrt(len(values))
+    return (centre - z * spread, centre + z * spread)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread, and range of a sample in one compact record."""
+
+    mean: float
+    std: float
+    median: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if not values:
+            raise ConfigurationError("summary of empty sequence")
+        return cls(
+            mean=mean(values),
+            std=std(values),
+            median=median(values),
+            minimum=float(min(values)),
+            maximum=float(max(values)),
+            count=len(values),
+        )

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Three sub-commands cover the common workflows:
+
+* ``repro-broadcast simulate`` — one broadcast configuration, printed as a
+  small table (per-seed results plus the aggregate).
+* ``repro-broadcast experiment <id>`` — run one of the registered experiments
+  (E1–E12) and print its table.
+* ``repro-broadcast list-protocols`` / ``list-experiments`` — discovery.
+
+The CLI is intentionally a thin veneer over the library; anything it can do is
+one or two calls into :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import SimulationConfig
+from .core.metrics import aggregate_runs
+from .core.rng import RandomSource, derive_seed
+from .experiments.registry import available_experiments, run_experiment_by_id
+from .experiments.results_io import save_table
+from .experiments.runner import repeat_broadcast
+from .experiments.tables import Table
+from .graphs.configuration_model import connected_random_regular_graph
+from .protocols.registry import available_protocols, build_protocol
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-broadcast",
+        description=(
+            "Randomised broadcasting in random regular networks "
+            "(Berenbrink, Elsässer, Friedetzky — PODC 2008 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run one broadcast configuration and print the results"
+    )
+    simulate.add_argument("--n", type=int, default=1024, help="number of nodes")
+    simulate.add_argument("--d", type=int, default=8, help="degree of the regular graph")
+    simulate.add_argument(
+        "--protocol",
+        default="algorithm1",
+        choices=available_protocols(),
+        help="protocol to run",
+    )
+    simulate.add_argument("--seeds", type=int, default=3, help="number of runs")
+    simulate.add_argument("--seed", type=int, default=2008, help="master seed")
+    simulate.add_argument(
+        "--loss", type=float, default=0.0, help="per-transmission loss probability"
+    )
+    simulate.add_argument(
+        "--full-schedule",
+        action="store_true",
+        help="run the protocol's full schedule instead of stopping at completion",
+    )
+    simulate.add_argument(
+        "--save", default=None, help="write the results table to a .json or .csv file"
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a registered experiment (E1..E13)"
+    )
+    experiment.add_argument("experiment_id", help="experiment id, e.g. E1")
+    experiment.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full (slow) sweep sizes instead of the quick ones",
+    )
+    experiment.add_argument("--seed", type=int, default=2008, help="master seed")
+    experiment.add_argument(
+        "--save", default=None, help="write the results table to a .json or .csv file"
+    )
+
+    p2p = subparsers.add_parser(
+        "p2p", help="run the replicated-database gossip simulation"
+    )
+    p2p.add_argument("--peers", type=int, default=256, help="number of peers")
+    p2p.add_argument("--d", type=int, default=8, help="overlay degree")
+    p2p.add_argument(
+        "--rule",
+        default="algorithm1",
+        choices=["push", "push-pull", "algorithm1", "algorithm2"],
+        help="per-update gossip rule",
+    )
+    p2p.add_argument("--updates", type=int, default=2, help="updates created per round")
+    p2p.add_argument(
+        "--rounds", type=int, default=5, help="rounds during which updates are created"
+    )
+    p2p.add_argument("--churn", type=float, default=0.0, help="join/leave rate per round")
+    p2p.add_argument(
+        "--anti-entropy",
+        type=int,
+        default=0,
+        help="anti-entropy repair rounds to run after the gossip phase",
+    )
+    p2p.add_argument("--seed", type=int, default=2008, help="master seed")
+
+    subparsers.add_parser("list-protocols", help="list available protocols")
+    subparsers.add_parser("list-experiments", help="list registered experiments")
+    return parser
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    graph_rng = RandomSource(seed=derive_seed(args.seed, "cli-graph", args.n, args.d))
+    graph = connected_random_regular_graph(args.n, args.d, graph_rng)
+    config = SimulationConfig(
+        message_loss_probability=args.loss,
+        stop_when_informed=not args.full_schedule,
+    )
+    seeds = [derive_seed(args.seed, "cli-run", i) for i in range(args.seeds)]
+    results = repeat_broadcast(
+        graph=graph,
+        protocol_factory=lambda n_est: build_protocol(args.protocol, n_est),
+        n_estimate=args.n,
+        seeds=seeds,
+        config=config,
+    )
+
+    table = Table(
+        title=f"{args.protocol} on a random {args.d}-regular graph with n = {args.n}",
+        columns=["run", "success", "rounds", "transmissions", "tx_per_node"],
+    )
+    for index, result in enumerate(results):
+        table.add_row(
+            run=index,
+            success=result.success,
+            rounds=(
+                result.rounds_to_completion
+                if result.rounds_to_completion is not None
+                else result.rounds_executed
+            ),
+            transmissions=result.total_transmissions,
+            tx_per_node=result.transmissions_per_node,
+        )
+    aggregate = aggregate_runs(results)
+    table.add_note(
+        f"aggregate over {aggregate.runs} runs: success rate "
+        f"{aggregate.success_rate:.2f}, mean rounds {aggregate.rounds.mean:.1f}, "
+        f"mean tx/node {aggregate.transmissions_per_node.mean:.2f}"
+    )
+    print(table.render())
+    if args.save:
+        destination = save_table(table, args.save)
+        print(f"saved results to {destination}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    table = run_experiment_by_id(
+        args.experiment_id, quick=not args.full, master_seed=args.seed
+    )
+    print(table.render())
+    if args.save:
+        destination = save_table(table, args.save)
+        print(f"saved results to {destination}")
+    return 0
+
+
+def _run_p2p(args: argparse.Namespace) -> int:
+    from .p2p.gossip_rules import build_gossip_rule
+    from .p2p.overlay import Overlay
+    from .p2p.replicated_db import ReplicatedDatabase, UpdateWorkload
+
+    rng = RandomSource(seed=derive_seed(args.seed, "cli-p2p"))
+    overlay = Overlay(n=args.peers, degree=args.d, rng=rng.spawn("overlay"))
+    database = ReplicatedDatabase(
+        overlay=overlay,
+        rule=build_gossip_rule(args.rule, args.peers),
+        rng=rng.spawn("db"),
+        join_rate=args.churn,
+        leave_rate=args.churn,
+    )
+    workload = UpdateWorkload(
+        updates_per_round=args.updates, injection_rounds=args.rounds
+    )
+    report = database.run(workload)
+
+    table = Table(
+        title=(
+            f"replicated database: {args.rule} rule, {args.peers} peers, "
+            f"degree {args.d}, churn {args.churn}"
+        ),
+        columns=["metric", "value"],
+    )
+    table.add_row(metric="updates created", value=report.updates_created)
+    table.add_row(metric="fully replicated", value=report.updates_fully_replicated)
+    table.add_row(metric="replication rate", value=report.replication_rate)
+    table.add_row(metric="mean convergence rounds", value=report.mean_convergence_rounds)
+    table.add_row(
+        metric="transmissions / update / peer",
+        value=report.transmissions_per_update_per_peer,
+    )
+    table.add_row(metric="payload KiB", value=report.total_payload_bytes / 1024.0)
+    table.add_row(metric="final divergence", value=report.final_divergence)
+    table.add_row(metric="replicas agree", value=database.replicas_agree())
+
+    if args.anti_entropy > 0:
+        repair = database.anti_entropy(rounds=args.anti_entropy)
+        table.add_row(metric="anti-entropy rounds", value=repair.rounds)
+        table.add_row(metric="anti-entropy updates moved", value=repair.updates_transferred)
+        table.add_row(metric="divergence after repair", value=repair.final_divergence)
+
+    print(table.render())
+    return 0
+
+
+def _run_list_protocols() -> int:
+    for name in available_protocols():
+        print(name)
+    return 0
+
+
+def _run_list_experiments() -> int:
+    for experiment_id, description in available_experiments().items():
+        print(f"{experiment_id}: {description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "p2p":
+        return _run_p2p(args)
+    if args.command == "list-protocols":
+        return _run_list_protocols()
+    if args.command == "list-experiments":
+        return _run_list_experiments()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Core simulation machinery: RNG, node state, channels, round engine, metrics."""
+
+from .channels import Channel, ChannelSet
+from .config import SimulationConfig
+from .engine import RoundEngine, run_broadcast
+from .errors import (
+    ConfigurationError,
+    ExperimentError,
+    GraphGenerationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .message import Message, Payload
+from .metrics import RoundRecord, RunAggregate, RunResult, aggregate_runs
+from .node import NodeState, StateTable
+from .rng import RandomSource, derive_seed
+from .trace import NullTracer, RecordingTracer, TraceEvent, Tracer
+
+__all__ = [
+    "RandomSource",
+    "derive_seed",
+    "Message",
+    "Payload",
+    "NodeState",
+    "StateTable",
+    "Channel",
+    "ChannelSet",
+    "SimulationConfig",
+    "RoundEngine",
+    "run_broadcast",
+    "RoundRecord",
+    "RunResult",
+    "RunAggregate",
+    "aggregate_runs",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
+    "ReproError",
+    "ConfigurationError",
+    "GraphGenerationError",
+    "ProtocolError",
+    "SimulationError",
+    "ExperimentError",
+]

@@ -1,0 +1,82 @@
+"""The phone-call channel layer.
+
+In the random phone call model every node, in every round, opens channels to
+one (standard model) or four distinct (this paper's model) randomly chosen
+neighbours.  A channel is *outgoing* for the caller and *incoming* for the
+callee, and may carry messages in both directions during the round:
+
+* ``push`` — the caller sends over its outgoing channels;
+* ``pull`` — the callee sends over its incoming channels.
+
+:class:`ChannelSet` stores all channels of one round and answers the only two
+queries the engine needs: "who did node ``v`` call?" and "who called ``v``?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["Channel", "ChannelSet"]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A single open channel for one round.
+
+    ``caller`` chose ``callee``; the channel is bidirectional for the round.
+    """
+
+    caller: int
+    callee: int
+
+    def other_end(self, node_id: int) -> int:
+        """The node on the opposite end from ``node_id``."""
+        if node_id == self.caller:
+            return self.callee
+        if node_id == self.callee:
+            return self.caller
+        raise ValueError(f"node {node_id} is not an endpoint of {self}")
+
+
+class ChannelSet:
+    """All channels opened during a single round."""
+
+    def __init__(self) -> None:
+        self._channels: List[Channel] = []
+        self._outgoing: Dict[int, List[Channel]] = {}
+        self._incoming: Dict[int, List[Channel]] = {}
+
+    def open(self, caller: int, callee: int) -> Channel:
+        """Open a channel from ``caller`` to ``callee`` and index it."""
+        channel = Channel(caller=caller, callee=callee)
+        self._channels.append(channel)
+        self._outgoing.setdefault(caller, []).append(channel)
+        self._incoming.setdefault(callee, []).append(channel)
+        return channel
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self._channels)
+
+    def outgoing(self, node_id: int) -> List[Channel]:
+        """Channels opened *by* ``node_id`` this round."""
+        return self._outgoing.get(node_id, [])
+
+    def incoming(self, node_id: int) -> List[Channel]:
+        """Channels opened *to* ``node_id`` this round."""
+        return self._incoming.get(node_id, [])
+
+    def callers_of(self, node_id: int) -> List[int]:
+        """Ids of nodes that called ``node_id`` this round."""
+        return [channel.caller for channel in self.incoming(node_id)]
+
+    def callees_of(self, node_id: int) -> List[int]:
+        """Ids of nodes that ``node_id`` called this round."""
+        return [channel.callee for channel in self.outgoing(node_id)]
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All channels as ``(caller, callee)`` pairs."""
+        return [(channel.caller, channel.callee) for channel in self._channels]

@@ -1,0 +1,84 @@
+"""Simulation configuration.
+
+One :class:`SimulationConfig` object captures every knob of a broadcast run
+that is not part of the graph or the protocol themselves: failure injection,
+churn, round limits, and trace verbosity.  Keeping these in a frozen dataclass
+means an experiment's full parameterisation can be logged and reproduced from
+a single record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import ConfigurationError
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine-level parameters of a single broadcast simulation.
+
+    Attributes
+    ----------
+    max_rounds:
+        Hard cap on the number of rounds.  ``None`` lets the protocol's own
+        horizon decide (all protocols expose one); a run that exhausts the cap
+        without informing everybody is reported as unsuccessful rather than
+        raising.
+    message_loss_probability:
+        Probability that any individual transmission (one message over one
+        channel in one direction) is lost.  Models the "limited communication
+        failures" discussed in the paper's abstract and introduction.
+    channel_failure_probability:
+        Probability that an opened channel fails entirely for the round
+        (neither push nor pull can use it).
+    churn_rate:
+        Expected fraction of nodes replaced per round (see
+        :mod:`repro.failures.churn`).  ``0`` disables churn.
+    collect_round_history:
+        Whether to record the per-round informed counts and transmission
+        counts.  Experiments that only need totals can disable it to save
+        memory on large sweeps.
+    stop_when_informed:
+        Stop as soon as every node is informed, even if the protocol's
+        schedule has rounds remaining.  The paper's algorithms run for their
+        full deterministic horizon (a Monte Carlo guarantee); experiments that
+        measure *completion time* enable early stopping instead.
+    """
+
+    max_rounds: Optional[int] = None
+    message_loss_probability: float = 0.0
+    channel_failure_probability: float = 0.0
+    churn_rate: float = 0.0
+    collect_round_history: bool = True
+    stop_when_informed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_rounds is not None and self.max_rounds <= 0:
+            raise ConfigurationError(
+                f"max_rounds must be positive or None, got {self.max_rounds}"
+            )
+        for name in (
+            "message_loss_probability",
+            "channel_failure_probability",
+            "churn_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+    def with_overrides(self, **overrides) -> "SimulationConfig":
+        """A copy of this configuration with selected fields replaced."""
+        data = {
+            "max_rounds": self.max_rounds,
+            "message_loss_probability": self.message_loss_probability,
+            "channel_failure_probability": self.channel_failure_probability,
+            "churn_rate": self.churn_rate,
+            "collect_round_history": self.collect_round_history,
+            "stop_when_informed": self.stop_when_informed,
+        }
+        data.update(overrides)
+        return SimulationConfig(**data)

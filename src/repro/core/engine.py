@@ -1,0 +1,327 @@
+"""The synchronous round engine of the random phone call model.
+
+One :class:`RoundEngine` instance runs one broadcast of one message over one
+graph with one protocol.  Each round proceeds exactly as in the paper's model:
+
+1. (optional) churn mutates the network;
+2. every node opens channels to ``fanout`` distinct random neighbours;
+3. nodes that want to **push** send the message over their outgoing channels,
+   nodes that want to **pull** send it over their incoming channels;
+4. deliveries are committed — a node that received its first copy this round
+   counts as informed from the *next* round on;
+5. all channels close.
+
+The engine tracks transmissions, channels, and the informed curve, and stops
+either when the protocol's horizon runs out or (optionally) as soon as every
+node is informed.
+
+Performance note: in rounds where the protocol performs no pull, channels
+opened by nodes that will not push cannot carry information, so the engine
+skips sampling them and accounts for their channel count arithmetically.  This
+keeps the per-round cost proportional to the number of *transmitting* nodes,
+which is what makes ``n ≈ 10⁵`` sweeps practical in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..failures.churn import ChurnModel, NoChurn
+from ..failures.message_loss import FailureModel, IndependentLoss, ReliableDelivery
+from ..graphs.base import Graph
+from ..protocols.base import BroadcastProtocol
+from .channels import ChannelSet
+from .config import SimulationConfig
+from .errors import SimulationError
+from .metrics import RoundRecord, RunResult
+from .node import StateTable
+from .rng import RandomSource
+from .trace import NullTracer, Tracer
+
+__all__ = ["RoundEngine", "run_broadcast"]
+
+
+class RoundEngine:
+    """Drives one protocol over one graph for one broadcast message.
+
+    Parameters
+    ----------
+    graph:
+        The network.  The engine mutates it only when a churn model is
+        supplied; callers who reuse graphs across runs should pass a copy in
+        that case.
+    protocol:
+        The decision logic (see :class:`repro.protocols.base.BroadcastProtocol`).
+    config:
+        Engine-level options; :class:`repro.core.config.SimulationConfig` defaults
+        are failure-free with early stopping.
+    seed:
+        Master seed; all randomness of the run derives from it.
+    failure_model:
+        Overrides the loss probabilities in ``config`` when supplied.
+    churn_model:
+        Membership changes applied at the start of every round.
+    tracer:
+        Optional event observer (defaults to a no-op tracer).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: BroadcastProtocol,
+        config: Optional[SimulationConfig] = None,
+        seed: int = 0,
+        failure_model: Optional[FailureModel] = None,
+        churn_model: Optional[ChurnModel] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.graph = graph
+        self.protocol = protocol
+        self.config = config if config is not None else SimulationConfig()
+        self.rng = RandomSource(seed=seed, name="engine")
+        self._protocol_rng = self.rng.spawn("protocol")
+        self._failure_rng = self.rng.spawn("failures")
+        self._churn_rng = self.rng.spawn("churn")
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.churn_model = churn_model if churn_model is not None else NoChurn()
+        if failure_model is not None:
+            self.failure_model = failure_model
+        elif (
+            self.config.message_loss_probability > 0
+            or self.config.channel_failure_probability > 0
+        ):
+            self.failure_model = IndependentLoss(
+                transmission_loss_probability=self.config.message_loss_probability,
+                channel_failure_probability=self.config.channel_failure_probability,
+            )
+        else:
+            self.failure_model = ReliableDelivery()
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, source: int = 0) -> RunResult:
+        """Broadcast a single message created at ``source`` in round 0."""
+        if source not in self.graph:
+            raise SimulationError(f"source node {source} is not in the graph")
+
+        n_initial = self.graph.node_count
+        states = StateTable(n=n_initial, source=source)
+        horizon = self.protocol.horizon()
+        if self.config.max_rounds is not None:
+            horizon = min(horizon, self.config.max_rounds)
+
+        history: list = []
+        phase_transmissions: dict = {}
+        totals = {
+            "push": 0,
+            "pull": 0,
+            "channels": 0,
+            "lost": 0,
+        }
+        rounds_to_completion: Optional[int] = None
+        rounds_executed = 0
+
+        for round_index in range(1, horizon + 1):
+            rounds_executed = round_index
+            record = self._run_round(round_index, states)
+            totals["push"] += record.push_transmissions
+            totals["pull"] += record.pull_transmissions
+            totals["channels"] += record.channels_opened
+            totals["lost"] += record.lost_transmissions
+            if record.phase:
+                phase_transmissions[record.phase] = (
+                    phase_transmissions.get(record.phase, 0) + record.transmissions
+                )
+            if self.config.collect_round_history:
+                history.append(record)
+
+            if rounds_to_completion is None and states.all_informed():
+                rounds_to_completion = round_index
+                if self.config.stop_when_informed:
+                    break
+            if self.protocol.finished(round_index, states):
+                break
+
+        success = states.all_informed()
+        return RunResult(
+            n=n_initial,
+            protocol=self.protocol.name,
+            source=source,
+            success=success,
+            rounds_executed=rounds_executed,
+            rounds_to_completion=rounds_to_completion,
+            total_push_transmissions=totals["push"],
+            total_pull_transmissions=totals["pull"],
+            total_channels_opened=totals["channels"],
+            total_lost_transmissions=totals["lost"],
+            final_informed=states.informed_count,
+            history=history,
+            phase_transmissions=phase_transmissions,
+            metadata={
+                "protocol": self.protocol.describe(),
+                "failure_model": self.failure_model.describe(),
+                "churn_model": self.churn_model.describe(),
+                "final_node_count": self.graph.node_count,
+            },
+        )
+
+    # -- round mechanics -------------------------------------------------------------
+
+    def _run_round(self, round_index: int, states: StateTable) -> RoundRecord:
+        graph = self.graph
+        protocol = self.protocol
+
+        if not isinstance(self.churn_model, NoChurn):
+            self.churn_model.apply(round_index, graph, states, self._churn_rng)
+
+        informed_before = states.informed_count
+        self.tracer.on_round_start(round_index, informed_before)
+        protocol.on_round_start(round_index, states)
+
+        push_active = protocol.push_round(round_index)
+        pull_active = protocol.pull_round(round_index)
+
+        channels, channels_opened = self._open_channels(
+            round_index, states, push_active, pull_active
+        )
+
+        push_transmissions = 0
+        pull_transmissions = 0
+        lost_transmissions = 0
+
+        if push_active:
+            for channel in channels:
+                caller_state = states[channel.caller]
+                if not caller_state.informed or not protocol.wants_push(
+                    caller_state, round_index
+                ):
+                    continue
+                push_transmissions += 1
+                lost = self.failure_model.transmission_lost(self._failure_rng)
+                self.tracer.on_transmission(
+                    round_index, channel.caller, channel.callee, "push", lost
+                )
+                if lost:
+                    lost_transmissions += 1
+                elif states.contains(channel.callee):
+                    states[channel.callee].deliver(round_index)
+
+        if pull_active:
+            for channel in channels:
+                callee_state = states[channel.callee]
+                if not callee_state.informed or not protocol.wants_pull(
+                    callee_state, round_index
+                ):
+                    continue
+                pull_transmissions += 1
+                lost = self.failure_model.transmission_lost(self._failure_rng)
+                self.tracer.on_transmission(
+                    round_index, channel.callee, channel.caller, "pull", lost
+                )
+                if lost:
+                    lost_transmissions += 1
+                elif states.contains(channel.caller):
+                    states[channel.caller].deliver(round_index)
+
+        if protocol.needs_exchange_hook:
+            for channel in channels:
+                protocol.on_channel_exchange(
+                    states[channel.caller], states[channel.callee], round_index
+                )
+
+        newly_informed = states.commit_round()
+        for node_id in newly_informed:
+            self.tracer.on_node_informed(round_index, node_id)
+        protocol.on_round_committed(round_index, states, newly_informed)
+        self.tracer.on_round_end(round_index, states.informed_count)
+
+        return RoundRecord(
+            round_index=round_index,
+            informed_before=informed_before,
+            informed_after=states.informed_count,
+            push_transmissions=push_transmissions,
+            pull_transmissions=pull_transmissions,
+            channels_opened=channels_opened,
+            lost_transmissions=lost_transmissions,
+            phase=protocol.phase_label(round_index),
+        )
+
+    def _open_channels(
+        self,
+        round_index: int,
+        states: StateTable,
+        push_active: bool,
+        pull_active: bool,
+    ):
+        """Open this round's channels; return ``(ChannelSet, opened_count)``.
+
+        ``opened_count`` reflects the full phone-call model (every node calls
+        its fanout), even when the engine skips sampling calls that cannot
+        carry information this round.
+        """
+        graph = self.graph
+        protocol = self.protocol
+        channels = ChannelSet()
+        channels_opened = 0
+
+        present = [node for node in graph.iter_nodes() if states.contains(node)]
+        if pull_active:
+            sampling_nodes = present
+        else:
+            sampling_nodes = []
+            for node in present:
+                state = states[node]
+                degree = graph.degree(node)
+                channels_opened += min(protocol.fanout(state, round_index), degree)
+                if (
+                    push_active
+                    and state.informed
+                    and protocol.wants_push(state, round_index)
+                ):
+                    sampling_nodes.append(node)
+            # Channels of sampling nodes were already counted arithmetically
+            # above; reset and let the sampling loop recount them exactly.
+            channels_opened -= sum(
+                min(protocol.fanout(states[node], round_index), graph.degree(node))
+                for node in sampling_nodes
+            )
+
+        for node in sampling_nodes:
+            state = states[node]
+            neighbours = graph.neighbors(node)
+            targets = protocol.select_call_targets(
+                state, neighbours, round_index, self._protocol_rng
+            )
+            for target in targets:
+                channels_opened += 1
+                if target == node or not states.contains(target):
+                    continue
+                if self.failure_model.channel_fails(self._failure_rng):
+                    continue
+                channels.open(node, target)
+                self.tracer.on_channel_open(round_index, node, target)
+
+        return channels, channels_opened
+
+
+def run_broadcast(
+    graph: Graph,
+    protocol: BroadcastProtocol,
+    source: int = 0,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    failure_model: Optional[FailureModel] = None,
+    churn_model: Optional[ChurnModel] = None,
+    tracer: Optional[Tracer] = None,
+) -> RunResult:
+    """Convenience wrapper: build a :class:`RoundEngine` and run one broadcast."""
+    engine = RoundEngine(
+        graph=graph,
+        protocol=protocol,
+        config=config,
+        seed=seed,
+        failure_model=failure_model,
+        churn_model=churn_model,
+        tracer=tracer,
+    )
+    return engine.run(source=source)

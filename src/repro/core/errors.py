@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still being able to distinguish configuration mistakes from runtime
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, protocol, or graph parameter is invalid.
+
+    Raised eagerly (at object construction time) so that a misconfigured
+    experiment fails before any compute is spent.
+    """
+
+
+class GraphGenerationError(ReproError):
+    """A random graph could not be generated with the requested parameters.
+
+    Typical causes: ``n * d`` odd (no d-regular graph exists), ``d >= n``,
+    or exhausting the retry budget when rejection-sampling a simple graph.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol was driven in a way that violates its contract.
+
+    For example, asking a phase-structured protocol for its decision in a
+    round beyond its configured horizon.
+    """
+
+
+class SimulationError(ReproError):
+    """The round engine reached an inconsistent state.
+
+    This indicates a bug in the engine or a protocol implementation rather
+    than a user configuration mistake, and therefore should never be caught
+    and ignored by experiment code.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown or invalid target."""

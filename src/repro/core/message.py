@@ -1,0 +1,78 @@
+"""Broadcast messages and multi-message payloads.
+
+The paper analyses the dissemination of a single message ``M`` created at
+round 0, but the model explicitly allows every node to create an arbitrary
+number of messages per round and to combine all messages due for push (or
+pull) into a single payload per channel.  This module provides both views:
+
+* :class:`Message` — an immutable record of one broadcast message.
+* :class:`Payload` — the combined set of message ids travelling over one
+  channel in one round (used for transmission accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+__all__ = ["Message", "Payload"]
+
+
+@dataclass(frozen=True, order=True)
+class Message:
+    """A single broadcast message.
+
+    Attributes
+    ----------
+    message_id:
+        Unique identifier; experiments use small integers.
+    origin:
+        Node id of the creator.
+    created_round:
+        Round in which the message entered the system.  The protocols in the
+        paper make their push/pull decisions purely as a function of the
+        message *age* (current round minus ``created_round``), which keeps
+        them address-oblivious.
+    size:
+        Abstract size in bytes, used only by the P2P replicated-database
+        application to report bandwidth.
+    """
+
+    message_id: int
+    origin: int
+    created_round: int = 0
+    size: int = 1
+
+    def age(self, current_round: int) -> int:
+        """Age of the message at ``current_round`` (0 in its creation round)."""
+        return current_round - self.created_round
+
+
+@dataclass(frozen=True)
+class Payload:
+    """The set of messages carried over one channel in one direction.
+
+    Transmission accounting in the paper (following Karp et al.) charges one
+    transmission per message per channel use; :attr:`transmission_count`
+    exposes exactly that number.
+    """
+
+    message_ids: FrozenSet[int] = field(default_factory=frozenset)
+
+    @classmethod
+    def of(cls, message_ids: Iterable[int]) -> "Payload":
+        """Build a payload from any iterable of message ids."""
+        return cls(message_ids=frozenset(message_ids))
+
+    @property
+    def transmission_count(self) -> int:
+        """Number of per-message transmissions this payload accounts for."""
+        return len(self.message_ids)
+
+    def is_empty(self) -> bool:
+        """True if the payload carries no messages."""
+        return not self.message_ids
+
+    def merged_with(self, other: "Payload") -> "Payload":
+        """A new payload carrying the union of both message sets."""
+        return Payload(message_ids=self.message_ids | other.message_ids)

@@ -1,0 +1,188 @@
+"""Metrics and results of broadcast runs.
+
+The paper's cost model counts two quantities separately:
+
+* **message transmissions** — every copy of the broadcast message sent over an
+  open channel (this is the quantity the O(n log log n) upper bound and the
+  Ω(n log n / log d) lower bound are about);
+* **opened channels** — the fixed per-round overhead of the phone call model,
+  which amortises over messages when broadcasts are frequent.
+
+:class:`RoundRecord` captures one round, :class:`RunResult` an entire run, and
+:class:`RunAggregate` summarises repetitions of the same configuration across
+seeds (mean / min / max / standard deviation of the headline quantities).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["RoundRecord", "RunResult", "RunAggregate", "aggregate_runs"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Per-round counters collected by the engine.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round number (round 0 is the creation of the message).
+    informed_before / informed_after:
+        Number of informed nodes at the start / end of the round.
+    push_transmissions / pull_transmissions:
+        Message copies sent via push / pull during the round.
+    channels_opened:
+        Channels opened during the round (4·n in the paper's model).
+    lost_transmissions:
+        Transmissions dropped by the failure model.
+    phase:
+        Protocol-reported phase label for the round (e.g. ``"phase1"``), or
+        ``""`` for protocols without phases.
+    """
+
+    round_index: int
+    informed_before: int
+    informed_after: int
+    push_transmissions: int
+    pull_transmissions: int
+    channels_opened: int
+    lost_transmissions: int = 0
+    phase: str = ""
+
+    @property
+    def transmissions(self) -> int:
+        """Total transmissions (push + pull) in this round."""
+        return self.push_transmissions + self.pull_transmissions
+
+    @property
+    def newly_informed(self) -> int:
+        """Nodes that became informed during this round."""
+        return self.informed_after - self.informed_before
+
+
+@dataclass
+class RunResult:
+    """Complete outcome of one broadcast simulation.
+
+    The headline quantities used throughout the experiments are
+    :attr:`rounds_to_completion`, :attr:`total_transmissions`, and
+    :attr:`transmissions_per_node`.
+    """
+
+    n: int
+    protocol: str
+    source: int
+    success: bool
+    rounds_executed: int
+    rounds_to_completion: Optional[int]
+    total_push_transmissions: int
+    total_pull_transmissions: int
+    total_channels_opened: int
+    total_lost_transmissions: int
+    final_informed: int
+    history: List[RoundRecord] = field(default_factory=list)
+    phase_transmissions: Dict[str, int] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_transmissions(self) -> int:
+        """All message transmissions across the run (push + pull)."""
+        return self.total_push_transmissions + self.total_pull_transmissions
+
+    @property
+    def transmissions_per_node(self) -> float:
+        """Average number of transmissions per network node."""
+        return self.total_transmissions / self.n if self.n else 0.0
+
+    @property
+    def channels_per_node(self) -> float:
+        """Average number of channels opened per node over the whole run."""
+        return self.total_channels_opened / self.n if self.n else 0.0
+
+    @property
+    def informed_fraction(self) -> float:
+        """Fraction of nodes informed when the run ended."""
+        return self.final_informed / self.n if self.n else 0.0
+
+    def informed_curve(self) -> List[int]:
+        """Informed-node counts after each executed round (needs history)."""
+        return [record.informed_after for record in self.history]
+
+    def transmissions_by_phase(self) -> Dict[str, int]:
+        """Total transmissions per protocol phase label."""
+        return dict(self.phase_transmissions)
+
+
+@dataclass(frozen=True)
+class SummaryStatistic:
+    """Mean / spread summary of one scalar metric across repeated runs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "SummaryStatistic":
+        if not values:
+            raise ValueError("cannot summarise an empty sequence")
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            count=n,
+        )
+
+
+@dataclass(frozen=True)
+class RunAggregate:
+    """Summary of several :class:`RunResult` objects for the same setting."""
+
+    n: int
+    protocol: str
+    runs: int
+    success_rate: float
+    rounds: SummaryStatistic
+    transmissions: SummaryStatistic
+    transmissions_per_node: SummaryStatistic
+    channels_per_node: SummaryStatistic
+
+
+def aggregate_runs(results: Sequence[RunResult]) -> RunAggregate:
+    """Summarise repeated runs of one configuration.
+
+    Runs that did not complete contribute their executed round count to the
+    round statistic (a conservative lower bound) and count against the
+    success rate.
+    """
+    if not results:
+        raise ValueError("aggregate_runs requires at least one result")
+    first = results[0]
+    rounds = [
+        float(r.rounds_to_completion if r.rounds_to_completion is not None else r.rounds_executed)
+        for r in results
+    ]
+    return RunAggregate(
+        n=first.n,
+        protocol=first.protocol,
+        runs=len(results),
+        success_rate=sum(1 for r in results if r.success) / len(results),
+        rounds=SummaryStatistic.from_values(rounds),
+        transmissions=SummaryStatistic.from_values(
+            [float(r.total_transmissions) for r in results]
+        ),
+        transmissions_per_node=SummaryStatistic.from_values(
+            [r.transmissions_per_node for r in results]
+        ),
+        channels_per_node=SummaryStatistic.from_values(
+            [r.channels_per_node for r in results]
+        ),
+    )

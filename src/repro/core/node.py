@@ -1,0 +1,179 @@
+"""Per-node protocol state.
+
+The simulator keeps one :class:`NodeState` per node.  Protocols read and
+update it through a small, explicit API; the round engine only ever touches
+the delivery buffer (:meth:`NodeState.deliver`) and the end-of-round commit
+(:meth:`NodeState.commit_round`), which makes the "messages received in round
+``t`` only take effect in round ``t + 1``" semantics of the paper explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+__all__ = ["NodeState", "StateTable"]
+
+
+@dataclass
+class NodeState:
+    """Mutable broadcast state of a single node for a single message.
+
+    Attributes
+    ----------
+    node_id:
+        Identifier of the node in the graph (0-based).
+    informed:
+        Whether the node currently knows the message.
+    informed_round:
+        Round in which the node became informed (``0`` for the source,
+        ``None`` while uninformed).  Newly delivered messages are staged in
+        ``_pending_round`` and only promoted by :meth:`commit_round`, matching
+        the synchronous model where a node cannot forward a message in the
+        same round it receives it.
+    active:
+        Phase-4 "active" flag used by Algorithm 1: nodes informed during
+        Phase 3 or 4 switch to active and keep pushing until the horizon.
+    memory:
+        Recently contacted neighbours, used only by the sequentialised
+        variant of the model (avoid the last three partners).
+    """
+
+    node_id: int
+    informed: bool = False
+    informed_round: Optional[int] = None
+    active: bool = False
+    memory: list = field(default_factory=list)
+    _pending_round: Optional[int] = field(default=None, repr=False)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def make_source(self) -> None:
+        """Mark this node as the message creator (informed at round 0)."""
+        self.informed = True
+        self.informed_round = 0
+
+    def deliver(self, current_round: int) -> bool:
+        """Stage delivery of the message during ``current_round``.
+
+        Returns True if this is the first copy the node has seen this round
+        and it was previously uninformed (useful for duplicate accounting).
+        The node does not count as informed for decision purposes until
+        :meth:`commit_round` runs at the end of the round.
+        """
+        if self.informed:
+            return False
+        if self._pending_round is None:
+            self._pending_round = current_round
+            return True
+        return False
+
+    def commit_round(self) -> bool:
+        """Promote a staged delivery at the end of a round.
+
+        Returns True if the node transitioned from uninformed to informed.
+        """
+        if self.informed or self._pending_round is None:
+            return False
+        self.informed = True
+        self.informed_round = self._pending_round
+        self._pending_round = None
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def newly_informed_in(self, round_index: int) -> bool:
+        """True if the node became informed exactly in ``round_index``."""
+        return self.informed and self.informed_round == round_index
+
+    def remember_partner(self, partner: int, window: int) -> None:
+        """Record ``partner`` in the bounded contact memory (FIFO window)."""
+        self.memory.append(partner)
+        if len(self.memory) > window:
+            del self.memory[: len(self.memory) - window]
+
+
+class StateTable:
+    """The collection of all node states for one broadcast run.
+
+    Provides the aggregate queries that protocols and metrics need (informed
+    count, newly informed set) without exposing engine internals.
+    """
+
+    def __init__(self, n: int, source: int) -> None:
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} outside [0, {n})")
+        self._states: Dict[int, NodeState] = {
+            node_id: NodeState(node_id=node_id) for node_id in range(n)
+        }
+        self._states[source].make_source()
+        self._informed_count = 1
+        self.source = source
+
+    # -- element access -------------------------------------------------------
+
+    def __getitem__(self, node_id: int) -> NodeState:
+        return self._states[node_id]
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self):
+        return iter(self._states.values())
+
+    # -- node membership (churn support) --------------------------------------
+
+    def add_node(self, node_id: int) -> NodeState:
+        """Register a node that joined the network mid-run (uninformed)."""
+        if node_id in self._states:
+            raise ValueError(f"node {node_id} already present")
+        state = NodeState(node_id=node_id)
+        self._states[node_id] = state
+        return state
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node that left the network mid-run."""
+        state = self._states.pop(node_id)
+        if state.informed:
+            self._informed_count -= 1
+
+    def contains(self, node_id: int) -> bool:
+        """True if ``node_id`` currently belongs to the network."""
+        return node_id in self._states
+
+    def node_ids(self) -> list:
+        """All current node ids (sorted for determinism)."""
+        return sorted(self._states)
+
+    # -- aggregate queries -----------------------------------------------------
+
+    @property
+    def informed_count(self) -> int:
+        """Number of currently informed nodes."""
+        return self._informed_count
+
+    @property
+    def uninformed_count(self) -> int:
+        """Number of currently uninformed nodes."""
+        return len(self._states) - self._informed_count
+
+    def all_informed(self) -> bool:
+        """True if every present node is informed."""
+        return self._informed_count == len(self._states)
+
+    def informed_ids(self) -> Set[int]:
+        """Ids of informed nodes (new set, safe to mutate)."""
+        return {s.node_id for s in self._states.values() if s.informed}
+
+    def uninformed_ids(self) -> Set[int]:
+        """Ids of uninformed nodes (new set, safe to mutate)."""
+        return {s.node_id for s in self._states.values() if not s.informed}
+
+    def commit_round(self) -> Set[int]:
+        """Promote all staged deliveries; return ids newly informed."""
+        newly = set()
+        for state in self._states.values():
+            if state.commit_round():
+                newly.add(state.node_id)
+        self._informed_count += len(newly)
+        return newly

@@ -1,0 +1,101 @@
+"""Lightweight tracing hooks for the round engine.
+
+Experiments usually only need the aggregate metrics in
+:mod:`repro.core.metrics`, but debugging a protocol or producing the
+phase-dynamics figure benefits from observing individual events.  A
+:class:`Tracer` receives callbacks from the engine; the default
+:class:`NullTracer` ignores everything at negligible cost, and
+:class:`RecordingTracer` stores events in memory for inspection in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["Tracer", "NullTracer", "RecordingTracer", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event."""
+
+    round_index: int
+    kind: str
+    subject: int
+    other: int = -1
+    detail: str = ""
+
+
+class Tracer:
+    """Interface for observing engine events.
+
+    Subclasses override whichever hooks they care about; every hook has a
+    default no-op implementation so tracers stay small.
+    """
+
+    def on_round_start(self, round_index: int, informed: int) -> None:
+        """Called before channels are opened for ``round_index``."""
+
+    def on_channel_open(self, round_index: int, caller: int, callee: int) -> None:
+        """Called for every channel opened."""
+
+    def on_transmission(
+        self, round_index: int, sender: int, receiver: int, direction: str, lost: bool
+    ) -> None:
+        """Called for every attempted transmission (``direction`` is push/pull)."""
+
+    def on_node_informed(self, round_index: int, node_id: int) -> None:
+        """Called when a node commits to the informed state."""
+
+    def on_round_end(self, round_index: int, informed: int) -> None:
+        """Called after the round's deliveries are committed."""
+
+
+class NullTracer(Tracer):
+    """A tracer that does nothing (the engine default)."""
+
+
+class RecordingTracer(Tracer):
+    """A tracer that stores every event, for tests and debugging."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def on_round_start(self, round_index: int, informed: int) -> None:
+        self.events.append(
+            TraceEvent(round_index=round_index, kind="round_start", subject=informed)
+        )
+
+    def on_channel_open(self, round_index: int, caller: int, callee: int) -> None:
+        self.events.append(
+            TraceEvent(round_index=round_index, kind="channel", subject=caller, other=callee)
+        )
+
+    def on_transmission(
+        self, round_index: int, sender: int, receiver: int, direction: str, lost: bool
+    ) -> None:
+        detail = f"{direction}{':lost' if lost else ''}"
+        self.events.append(
+            TraceEvent(
+                round_index=round_index,
+                kind="transmission",
+                subject=sender,
+                other=receiver,
+                detail=detail,
+            )
+        )
+
+    def on_node_informed(self, round_index: int, node_id: int) -> None:
+        self.events.append(
+            TraceEvent(round_index=round_index, kind="informed", subject=node_id)
+        )
+
+    def on_round_end(self, round_index: int, informed: int) -> None:
+        self.events.append(
+            TraceEvent(round_index=round_index, kind="round_end", subject=informed)
+        )
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [event for event in self.events if event.kind == kind]

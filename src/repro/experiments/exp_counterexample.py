@@ -1,0 +1,116 @@
+"""E13 — The K5-product counterexample from the paper's conclusions.
+
+The paper closes by noting that the multiple-choice modification does **not**
+help on every well-connected graph: the Cartesian product of a random
+d-regular graph with the complete graph ``K5`` has similar expansion and
+connectivity, yet the four-choice model "may not lead to any notable
+improvement" there, because a node's four calls keep landing inside its local
+clique instead of crossing to other cliques.
+
+The experiment runs Algorithm 1 and the classical push&pull baseline on both
+topologies at (approximately) matched size and degree, and reports how much
+the four choices improve the round count on each.  Expected shape: a clear
+improvement on the plain random regular graph, and a much smaller (or no)
+improvement on the product graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.metrics import aggregate_runs
+from ..core.rng import RandomSource, derive_seed
+from ..graphs.configuration_model import random_regular_graph
+from ..graphs.families import regular_product_with_clique
+from ..protocols.algorithm1 import Algorithm1
+from ..protocols.push_pull import PushPullProtocol
+from .runner import repeat_broadcast
+from .tables import Table
+
+__all__ = ["run_experiment"]
+
+EXPERIMENT_ID = "E13"
+TITLE = "E13 — counterexample: random regular graph vs product with K5"
+
+
+def run_experiment(
+    quick: bool = True,
+    master_seed: int = 2008,
+    base_nodes: Optional[int] = None,
+    degree: int = 8,
+    clique_size: int = 5,
+) -> Table:
+    """Compare the benefit of four choices on the two topologies."""
+    base_n = base_nodes if base_nodes is not None else (256 if quick else 1024)
+    repetitions = 3 if quick else 5
+    rng = RandomSource(seed=derive_seed(master_seed, "e13-graphs"))
+
+    # The product graph has base_n * clique_size nodes of degree
+    # degree + clique_size - 1; generate a plain random regular graph with the
+    # same node count and (approximately) the same degree for a fair baseline.
+    product_graph = regular_product_with_clique(
+        base_n, degree, rng.spawn("product"), clique_size=clique_size
+    )
+    matched_n = product_graph.node_count
+    matched_d = degree + clique_size - 1
+    plain_graph = random_regular_graph(matched_n, matched_d, rng.spawn("plain"))
+
+    table = Table(
+        title=f"{TITLE} (n = {matched_n}, d = {matched_d})",
+        columns=[
+            "topology",
+            "protocol",
+            "rounds_mean",
+            "tx_per_node",
+            "success_rate",
+            "speedup_vs_one_call",
+        ],
+    )
+
+    protocols = {
+        "push-pull-1": lambda n_est: PushPullProtocol(n_estimate=n_est),
+        "algorithm1": lambda n_est: Algorithm1(n_estimate=n_est),
+    }
+
+    for topology, graph in (("random-regular", plain_graph), ("product-K5", product_graph)):
+        rounds_by_protocol = {}
+        rows = []
+        for name, factory in protocols.items():
+            seeds = [
+                derive_seed(master_seed, "e13-run", topology, name, i)
+                for i in range(repetitions)
+            ]
+            aggregate = aggregate_runs(
+                repeat_broadcast(
+                    graph=graph,
+                    protocol_factory=factory,
+                    n_estimate=matched_n,
+                    seeds=seeds,
+                )
+            )
+            rounds_by_protocol[name] = aggregate.rounds.mean
+            rows.append((name, aggregate))
+        for name, aggregate in rows:
+            table.add_row(
+                topology=topology,
+                protocol=name,
+                rounds_mean=aggregate.rounds.mean,
+                tx_per_node=aggregate.transmissions_per_node.mean,
+                success_rate=aggregate.success_rate,
+                speedup_vs_one_call=(
+                    rounds_by_protocol["push-pull-1"] / aggregate.rounds.mean
+                ),
+            )
+
+    table.add_note(
+        "Paper (Conclusions): on the Cartesian product with K5 the "
+        "multiple-choice model asymptotically gives no notable improvement; "
+        "compare the speedup_vs_one_call column across the two topologies."
+    )
+    table.add_note(
+        "At simulatable sizes both topologies finish within a round of each "
+        "other for either protocol — the remark is asymptotic, so this "
+        "experiment documents the matched-size behaviour rather than a "
+        "visible separation (see EXPERIMENTS.md)."
+    )
+    return table

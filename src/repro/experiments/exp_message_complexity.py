@@ -1,0 +1,105 @@
+"""E2 — Message complexity: O(n·log log n) vs Θ(n·log n).
+
+Paper claim (Theorems 2 and 3 vs the classical analysis of push): with four
+distinct choices per round, the whole broadcast needs only ``O(n·log log n)``
+transmissions, whereas the classical push protocol needs ``Θ(n·log n)``.
+
+At simulatable sizes the two growth laws differ by small absolute amounts, so
+the experiment reports, for every protocol, the per-node transmission count
+across a size sweep together with least-squares fits against
+``a + b·log log n`` and ``a + b·log n``: the protocol reproduces the paper's
+claim if the ``loglog`` law explains its curve at least as well as the ``log``
+law, and vice versa for push.
+
+Two accountings are reported for Algorithm 1:
+
+* ``algorithm1`` — transmissions until the last node is informed (what an
+  oracle-terminated run would pay);
+* ``algorithm1-full`` — transmissions of the complete schedule, which is what
+  the distributed algorithm actually sends since no node knows when everyone
+  is informed.  This is the quantity the O(n·log log n) bound is about.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.scaling import fit_scaling_law
+from ..core.config import SimulationConfig
+from ..core.metrics import aggregate_runs
+from ..protocols.algorithm1 import Algorithm1
+from ..protocols.push import PushProtocol
+from ..protocols.push_pull import PushPullProtocol
+from .runner import ExperimentRunner
+from .tables import Table
+from .workloads import DEFAULT_DEGREE, SweepSizes, full_sizes, quick_sizes
+
+__all__ = ["run_experiment"]
+
+EXPERIMENT_ID = "E2"
+TITLE = "E2 — transmissions per node vs network size"
+
+
+def run_experiment(
+    quick: bool = True,
+    master_seed: int = 2008,
+    degree: int = DEFAULT_DEGREE,
+    sizes: Optional[SweepSizes] = None,
+) -> Table:
+    """Run the E2 sweep and return its table."""
+    sweep = sizes if sizes is not None else (quick_sizes() if quick else full_sizes())
+    runner = ExperimentRunner(master_seed=master_seed, repetitions=sweep.repetitions)
+
+    full_schedule = SimulationConfig(stop_when_informed=False)
+    configurations = {
+        "push": (lambda n: PushProtocol(n_estimate=n), None),
+        "push-pull": (lambda n: PushPullProtocol(n_estimate=n), None),
+        "algorithm1": (lambda n: Algorithm1(n_estimate=n), None),
+        "algorithm1-full": (lambda n: Algorithm1(n_estimate=n), full_schedule),
+    }
+
+    table = Table(
+        title=f"{TITLE} (d = {degree})",
+        columns=[
+            "protocol",
+            "n",
+            "tx_per_node",
+            "rounds_mean",
+            "success_rate",
+        ],
+    )
+
+    series: dict = {name: ([], []) for name in configurations}
+    for name, (factory, config) in configurations.items():
+        for n in sweep.sizes:
+            results = runner.broadcast(
+                n, degree, factory, label=f"e2-{name}", config=config
+            )
+            aggregate = aggregate_runs(results)
+            table.add_row(
+                protocol=name,
+                n=n,
+                tx_per_node=aggregate.transmissions_per_node.mean,
+                rounds_mean=aggregate.rounds.mean,
+                success_rate=aggregate.success_rate,
+            )
+            series[name][0].append(n)
+            series[name][1].append(aggregate.transmissions_per_node.mean)
+
+    for name, (ns, values) in series.items():
+        if len(ns) < 2:
+            continue
+        loglog_fit = fit_scaling_law(ns, values, "loglog")
+        log_fit = fit_scaling_law(ns, values, "log")
+        better = "loglog" if loglog_fit.residual_rms <= log_fit.residual_rms else "log"
+        table.add_note(
+            f"{name}: slope {log_fit.slope:+.2f} per log2(n) unit; best-fitting "
+            f"growth law = {better} "
+            f"(rms loglog {loglog_fit.residual_rms:.3f} vs log {log_fit.residual_rms:.3f})"
+        )
+    table.add_note(
+        "Paper claim: algorithm1 transmissions grow like n·log log n while push "
+        "grows like n·log n; at finite n the distinguishing signal is the growth "
+        "law, not the absolute values."
+    )
+    return table

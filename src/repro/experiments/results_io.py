@@ -1,0 +1,77 @@
+"""Persistence for experiment tables.
+
+Experiment tables are plain data (title, columns, rows, notes), so they
+serialise naturally to JSON for archival / re-plotting and to CSV for
+spreadsheets.  `EXPERIMENTS.md` numbers are regenerated from saved JSON files
+rather than by copying terminal output around, and the CLI's ``--save`` flag
+uses the same functions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from ..core.errors import ExperimentError
+from .tables import Table
+
+__all__ = ["save_table_json", "load_table_json", "save_table_csv", "save_table"]
+
+PathLike = Union[str, Path]
+
+
+def save_table_json(table: Table, path: PathLike) -> Path:
+    """Write ``table`` to ``path`` as JSON; returns the resolved path."""
+    destination = Path(path)
+    payload = {
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.to_records(),
+        "notes": list(table.notes),
+    }
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=False))
+    return destination
+
+
+def load_table_json(path: PathLike) -> Table:
+    """Read a table previously written by :func:`save_table_json`."""
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"cannot load table from {source}: {error}") from error
+    for key in ("title", "columns", "rows"):
+        if key not in payload:
+            raise ExperimentError(f"table file {source} is missing the {key!r} field")
+    table = Table(title=payload["title"], columns=list(payload["columns"]))
+    for row in payload["rows"]:
+        table.add_row(**row)
+    for note in payload.get("notes", []):
+        table.add_note(note)
+    return table
+
+
+def save_table_csv(table: Table, path: PathLike) -> Path:
+    """Write the rows of ``table`` to ``path`` as CSV (title/notes omitted)."""
+    destination = Path(path)
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=table.columns)
+        writer.writeheader()
+        for row in table.to_records():
+            writer.writerow({column: row.get(column, "") for column in table.columns})
+    return destination
+
+
+def save_table(table: Table, path: PathLike) -> Path:
+    """Save ``table`` choosing the format from the file extension (.json/.csv)."""
+    destination = Path(path)
+    suffix = destination.suffix.lower()
+    if suffix == ".json":
+        return save_table_json(table, destination)
+    if suffix == ".csv":
+        return save_table_csv(table, destination)
+    raise ExperimentError(
+        f"unsupported table format {suffix!r} for {destination}; use .json or .csv"
+    )

@@ -1,0 +1,139 @@
+"""Shared plumbing for running protocols over generated graphs.
+
+The experiments all follow the same pattern: generate a few random regular
+graphs, run one or more protocols with several seeds over each, and aggregate
+the results.  :class:`ExperimentRunner` centralises graph caching (generating
+a 16k-node regular graph is more expensive than broadcasting over it), seeding
+discipline, and repetition so the individual experiment modules stay short and
+declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.config import SimulationConfig
+from ..core.engine import RoundEngine
+from ..core.metrics import RunAggregate, RunResult, aggregate_runs
+from ..core.rng import RandomSource, derive_seed
+from ..failures.churn import ChurnModel
+from ..failures.message_loss import FailureModel
+from ..graphs.base import Graph
+from ..graphs.configuration_model import connected_random_regular_graph
+from ..protocols.base import BroadcastProtocol
+
+__all__ = ["ProtocolFactory", "ExperimentRunner", "repeat_broadcast"]
+
+
+#: A callable building a fresh protocol instance for a given size estimate.
+ProtocolFactory = Callable[[int], BroadcastProtocol]
+
+
+def repeat_broadcast(
+    graph: Graph,
+    protocol_factory: ProtocolFactory,
+    n_estimate: int,
+    seeds: List[int],
+    config: Optional[SimulationConfig] = None,
+    failure_model: Optional[FailureModel] = None,
+    churn_factory: Optional[Callable[[], ChurnModel]] = None,
+    source: int = 0,
+) -> List[RunResult]:
+    """Run the same protocol over the same graph once per seed.
+
+    A fresh protocol instance is built per run (protocols may hold per-run
+    state), and the graph is copied per run when a churn model is supplied
+    because churn mutates it.
+    """
+    results: List[RunResult] = []
+    for seed in seeds:
+        protocol = protocol_factory(n_estimate)
+        run_graph = graph.copy() if churn_factory is not None else graph
+        churn_model = churn_factory() if churn_factory is not None else None
+        engine = RoundEngine(
+            graph=run_graph,
+            protocol=protocol,
+            config=config,
+            seed=seed,
+            failure_model=failure_model,
+            churn_model=churn_model,
+        )
+        results.append(engine.run(source=source))
+    return results
+
+
+@dataclass
+class ExperimentRunner:
+    """Graph-caching experiment driver.
+
+    Parameters
+    ----------
+    master_seed:
+        Root of all randomness; graphs and run seeds derive from it so an
+        experiment is reproducible from this single number.
+    repetitions:
+        Number of independent broadcast runs per configuration.
+    """
+
+    master_seed: int = 2008
+    repetitions: int = 5
+
+    def __post_init__(self) -> None:
+        self._graph_cache: Dict[Tuple[int, int, int], Graph] = {}
+
+    # -- graphs ---------------------------------------------------------------------
+
+    def regular_graph(self, n: int, d: int, instance: int = 0) -> Graph:
+        """A cached connected random d-regular graph on ``n`` nodes."""
+        key = (n, d, instance)
+        if key not in self._graph_cache:
+            seed = derive_seed(self.master_seed, "graph", n, d, instance)
+            rng = RandomSource(seed=seed, name=f"graph-{n}-{d}-{instance}")
+            self._graph_cache[key] = connected_random_regular_graph(n, d, rng)
+        return self._graph_cache[key]
+
+    def run_seeds(self, label: str, count: Optional[int] = None) -> List[int]:
+        """Deterministic per-configuration run seeds."""
+        total = self.repetitions if count is None else count
+        return [derive_seed(self.master_seed, "run", label, i) for i in range(total)]
+
+    # -- running ---------------------------------------------------------------------
+
+    def broadcast(
+        self,
+        n: int,
+        d: int,
+        protocol_factory: ProtocolFactory,
+        label: str,
+        n_estimate: Optional[int] = None,
+        config: Optional[SimulationConfig] = None,
+        failure_model: Optional[FailureModel] = None,
+        churn_factory: Optional[Callable[[], ChurnModel]] = None,
+        repetitions: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Run ``protocol_factory`` over the cached ``(n, d)`` graph."""
+        graph = self.regular_graph(n, d)
+        seeds = self.run_seeds(f"{label}-{n}-{d}", repetitions)
+        return repeat_broadcast(
+            graph=graph,
+            protocol_factory=protocol_factory,
+            n_estimate=n_estimate if n_estimate is not None else n,
+            seeds=seeds,
+            config=config,
+            failure_model=failure_model,
+            churn_factory=churn_factory,
+        )
+
+    def broadcast_aggregate(
+        self,
+        n: int,
+        d: int,
+        protocol_factory: ProtocolFactory,
+        label: str,
+        **kwargs,
+    ) -> RunAggregate:
+        """Like :meth:`broadcast` but summarised across the repetitions."""
+        return aggregate_runs(
+            self.broadcast(n, d, protocol_factory, label, **kwargs)
+        )

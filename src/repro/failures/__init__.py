@@ -1,0 +1,18 @@
+"""Failure, churn, and estimation-error models used by the robustness experiments."""
+
+from .churn import ChurnEvent, ChurnModel, NoChurn, UniformChurn
+from .estimates import EstimateError, distorted_estimate, estimate_grid
+from .message_loss import FailureModel, IndependentLoss, ReliableDelivery
+
+__all__ = [
+    "FailureModel",
+    "IndependentLoss",
+    "ReliableDelivery",
+    "ChurnModel",
+    "NoChurn",
+    "UniformChurn",
+    "ChurnEvent",
+    "EstimateError",
+    "distorted_estimate",
+    "estimate_grid",
+]

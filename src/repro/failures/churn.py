@@ -1,0 +1,170 @@
+"""Node churn during a broadcast.
+
+Peer-to-peer overlays change while a broadcast is in flight: peers leave and
+new peers join.  The paper claims robustness "against limited changes in the
+size of the network"; experiment E8 quantifies that by running Algorithm 1
+while a :class:`ChurnModel` removes and adds nodes every round.
+
+Joining nodes are wired into the overlay by *stub stealing*: a joiner of
+target degree ``d`` picks ``d`` random existing edges and splices itself into
+the middle of each (replacing edge ``(u, v)`` with ``(u, joiner)`` and
+``(joiner, v)``), which keeps every existing node's degree unchanged and gives
+the joiner degree ``2·⌈d/2⌉``.  Leaving nodes simply disappear with their
+edges; the overlay maintenance layer (:mod:`repro.p2p.overlay`) is responsible
+for longer-term repair, while this module models the transient disruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.node import StateTable
+from ..core.rng import RandomSource
+from ..graphs.base import Graph
+
+__all__ = ["ChurnEvent", "ChurnModel", "NoChurn", "UniformChurn"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """What a churn step did in one round."""
+
+    round_index: int
+    departed: List[int] = field(default_factory=list)
+    joined: List[int] = field(default_factory=list)
+
+    @property
+    def departures(self) -> int:
+        return len(self.departed)
+
+    @property
+    def arrivals(self) -> int:
+        return len(self.joined)
+
+
+class ChurnModel:
+    """Interface for per-round network membership changes."""
+
+    def apply(
+        self, round_index: int, graph: Graph, states: StateTable, rng: RandomSource
+    ) -> ChurnEvent:
+        """Mutate ``graph`` and ``states`` for ``round_index``; report what changed."""
+        return ChurnEvent(round_index=round_index)
+
+    def describe(self) -> dict:
+        return {"model": type(self).__name__}
+
+
+class NoChurn(ChurnModel):
+    """The default: the network does not change during the broadcast."""
+
+
+class UniformChurn(ChurnModel):
+    """Uniform random departures and arrivals at fixed per-round rates.
+
+    Parameters
+    ----------
+    leave_rate:
+        Expected fraction of current nodes that leave per round.
+    join_rate:
+        Expected number of joiners per round, as a fraction of the current
+        network size.
+    target_degree:
+        Degree the joiners aim for when splicing into the overlay.
+    protect_source:
+        Never remove the broadcast source (keeps the experiment meaningful —
+        if the only informed node departs in round 1, every protocol fails).
+    max_rounds:
+        Stop churning after this many rounds (``None`` = churn forever); lets
+        experiments model a burst of churn early in the broadcast.
+    """
+
+    def __init__(
+        self,
+        leave_rate: float,
+        join_rate: float,
+        target_degree: int,
+        protect_source: bool = True,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= leave_rate < 1.0:
+            raise ConfigurationError(f"leave_rate must be in [0, 1), got {leave_rate}")
+        if not 0.0 <= join_rate < 1.0:
+            raise ConfigurationError(f"join_rate must be in [0, 1), got {join_rate}")
+        if target_degree < 2:
+            raise ConfigurationError(f"target_degree must be >= 2, got {target_degree}")
+        self.leave_rate = leave_rate
+        self.join_rate = join_rate
+        self.target_degree = target_degree
+        self.protect_source = protect_source
+        self.max_rounds = max_rounds
+        self._next_node_id: Optional[int] = None
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _allocate_node_id(self, graph: Graph) -> int:
+        if self._next_node_id is None:
+            self._next_node_id = (max(graph.iter_nodes()) + 1) if len(graph) else 0
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
+    def _splice_joiner(self, graph: Graph, joiner: int, rng: RandomSource) -> None:
+        """Wire ``joiner`` into the overlay by splitting random existing edges."""
+        graph.add_node(joiner)
+        edges = graph.edges()
+        if not edges:
+            return
+        splices = max(1, self.target_degree // 2)
+        for _ in range(splices):
+            u, v = edges[rng.randint(0, len(edges))]
+            if u == joiner or v == joiner or u == v:
+                continue
+            if not graph.has_edge(u, v):
+                continue
+            graph.remove_edge(u, v)
+            graph.add_edge(u, joiner)
+            graph.add_edge(joiner, v)
+
+    # -- main hook --------------------------------------------------------------
+
+    def apply(
+        self, round_index: int, graph: Graph, states: StateTable, rng: RandomSource
+    ) -> ChurnEvent:
+        if self.max_rounds is not None and round_index > self.max_rounds:
+            return ChurnEvent(round_index=round_index)
+
+        current_nodes = [node for node in graph.iter_nodes() if states.contains(node)]
+        departures = rng.binomial(len(current_nodes), self.leave_rate)
+        arrivals = rng.binomial(len(current_nodes), self.join_rate)
+
+        departed: List[int] = []
+        candidates = [
+            node
+            for node in current_nodes
+            if not (self.protect_source and node == states.source)
+        ]
+        for node in rng.sample_distinct(candidates, departures):
+            graph.remove_node(node)
+            states.remove_node(node)
+            departed.append(node)
+
+        joined: List[int] = []
+        for _ in range(arrivals):
+            joiner = self._allocate_node_id(graph)
+            self._splice_joiner(graph, joiner, rng)
+            states.add_node(joiner)
+            joined.append(joiner)
+
+        return ChurnEvent(round_index=round_index, departed=departed, joined=joined)
+
+    def describe(self) -> dict:
+        return {
+            "model": type(self).__name__,
+            "leave_rate": self.leave_rate,
+            "join_rate": self.join_rate,
+            "target_degree": self.target_degree,
+            "max_rounds": self.max_rounds,
+        }

@@ -1,0 +1,48 @@
+"""Inaccurate network-size estimates.
+
+The algorithms compute their phase boundaries from an *estimate* of ``n``; the
+paper only requires the estimate to be correct up to a constant factor.  This
+module provides helpers for systematically distorting the estimate handed to a
+protocol, used by experiment E7 ("size-estimate robustness").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["EstimateError", "distorted_estimate", "estimate_grid"]
+
+
+@dataclass(frozen=True)
+class EstimateError:
+    """A multiplicative distortion of the true network size.
+
+    ``factor = 2.0`` means the nodes believe the network is twice as large as
+    it really is; ``0.5`` means half.  The distorted estimate is clamped to be
+    at least 2 so that logarithms stay defined.
+    """
+
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ConfigurationError(f"estimate factor must be positive, got {self.factor}")
+
+    def apply(self, true_n: int) -> int:
+        """The estimate the nodes would use for a network of ``true_n`` nodes."""
+        return max(2, int(round(true_n * self.factor)))
+
+
+def distorted_estimate(true_n: int, factor: float) -> int:
+    """Shorthand for ``EstimateError(factor).apply(true_n)``."""
+    return EstimateError(factor).apply(true_n)
+
+
+def estimate_grid(powers: int = 2) -> List[EstimateError]:
+    """Distortion factors ``2^-powers .. 2^powers`` used in experiment E7."""
+    if powers < 0:
+        raise ConfigurationError(f"powers must be non-negative, got {powers}")
+    return [EstimateError(2.0**k) for k in range(-powers, powers + 1)]

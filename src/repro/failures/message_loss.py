@@ -1,0 +1,80 @@
+"""Per-transmission and per-channel failure models.
+
+The paper's abstract promises that the algorithm "efficiently handles limited
+communication failures".  We model two flavours:
+
+* **transmission loss** — each individual message copy sent over a channel is
+  dropped independently with probability ``p`` (the receiving node simply does
+  not get that copy this round);
+* **channel failure** — an opened channel fails for the whole round, so
+  neither push nor pull can use it (e.g. the callee is temporarily
+  unreachable).
+
+Both are implemented as small strategy objects consulted by the engine, so
+experiments can combine them or plug in custom models (e.g. correlated
+failures) without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..core.rng import RandomSource
+
+__all__ = ["FailureModel", "IndependentLoss", "ReliableDelivery"]
+
+
+class FailureModel:
+    """Interface consulted by the engine for every channel and transmission."""
+
+    def channel_fails(self, rng: RandomSource) -> bool:
+        """True if a freshly opened channel is unusable for the round."""
+        return False
+
+    def transmission_lost(self, rng: RandomSource) -> bool:
+        """True if one message copy over one working channel is dropped."""
+        return False
+
+    def describe(self) -> dict:
+        """A serialisable description, recorded in run metadata."""
+        return {"model": type(self).__name__}
+
+
+class ReliableDelivery(FailureModel):
+    """The failure-free default: every channel works, every copy arrives."""
+
+
+@dataclass
+class IndependentLoss(FailureModel):
+    """Independent Bernoulli loss for transmissions and channels.
+
+    Attributes
+    ----------
+    transmission_loss_probability:
+        Probability that an individual message copy is dropped.
+    channel_failure_probability:
+        Probability that an opened channel fails for the entire round.
+    """
+
+    transmission_loss_probability: float = 0.0
+    channel_failure_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("transmission_loss_probability", "channel_failure_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+    def channel_fails(self, rng: RandomSource) -> bool:
+        return rng.bernoulli(self.channel_failure_probability)
+
+    def transmission_lost(self, rng: RandomSource) -> bool:
+        return rng.bernoulli(self.transmission_loss_probability)
+
+    def describe(self) -> dict:
+        return {
+            "model": type(self).__name__,
+            "transmission_loss_probability": self.transmission_loss_probability,
+            "channel_failure_probability": self.channel_failure_probability,
+        }

@@ -1,0 +1,191 @@
+"""A small adjacency-list graph tailored to the broadcast simulator.
+
+The simulator needs fast neighbour sampling, support for multigraphs (the
+configuration model can produce self-loops and parallel edges, and the paper
+explicitly analyses the process on such graphs), and cheap node insertion and
+removal for churn experiments.  ``networkx`` is great for analysis but its
+per-call overhead dominates at the scale of millions of neighbour lookups, so
+the core simulator uses this dedicated structure and converts to ``networkx``
+only for structural property computations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import networkx as nx
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected (multi)graph stored as adjacency lists.
+
+    Parallel edges are represented by repeated entries in the adjacency list;
+    self-loops by a node appearing in its own list (once per loop).  The
+    broadcast protocols sample *distinct stubs*, so a parallel edge genuinely
+    raises the chance of calling that neighbour — exactly the semantics of the
+    configuration model in the paper.
+    """
+
+    def __init__(self, nodes: Iterable[int] = ()) -> None:
+        self._adjacency: Dict[int, List[int]] = {node: [] for node in nodes}
+        self._edge_count = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]]) -> "Graph":
+        """Build a graph on nodes ``0..n-1`` from an edge list."""
+        graph = cls(range(n))
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph: "nx.Graph") -> "Graph":
+        """Convert a networkx graph (nodes are relabelled to 0..n-1)."""
+        mapping = {node: index for index, node in enumerate(sorted(nx_graph.nodes()))}
+        graph = cls(range(len(mapping)))
+        for u, v in nx_graph.edges():
+            graph.add_edge(mapping[u], mapping[v])
+        return graph
+
+    def add_node(self, node_id: int) -> None:
+        """Add an isolated node (no-op if already present)."""
+        self._adjacency.setdefault(node_id, [])
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add an undirected edge (allows self-loops and parallel edges).
+
+        A self-loop consumes two stubs of its node, exactly as in the
+        configuration model, so it appears twice in the adjacency list and
+        contributes two to the node's degree.
+        """
+        if u not in self._adjacency or v not in self._adjacency:
+            raise KeyError(f"both endpoints must exist before adding edge ({u}, {v})")
+        self._adjacency[u].append(v)
+        self._adjacency[v].append(u)
+        self._edge_count += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove one copy of the undirected edge ``(u, v)``."""
+        self._adjacency[u].remove(v)
+        self._adjacency[v].remove(u)
+        self._edge_count -= 1
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node and all its incident edges."""
+        neighbours = self._adjacency.pop(node_id)
+        removed = 0
+        for other in set(neighbours):
+            if other == node_id:
+                removed += neighbours.count(node_id) // 2
+                continue
+            count = self._adjacency[other].count(node_id)
+            self._adjacency[other] = [x for x in self._adjacency[other] if x != node_id]
+            removed += count
+        self._edge_count -= removed
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges (parallel edges counted with multiplicity)."""
+        return self._edge_count
+
+    def nodes(self) -> List[int]:
+        """All node ids, sorted."""
+        return sorted(self._adjacency)
+
+    def iter_nodes(self) -> Iterator[int]:
+        """Iterate node ids in insertion order (cheaper than sorting)."""
+        return iter(self._adjacency)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """The adjacency list of ``node_id`` (with multiplicity); not a copy."""
+        return self._adjacency[node_id]
+
+    def degree(self, node_id: int) -> int:
+        """Degree of ``node_id`` (a self-loop contributes two)."""
+        return len(self._adjacency[node_id])
+
+    def degrees(self) -> Dict[int, int]:
+        """Mapping of node id to degree."""
+        return {node: len(adj) for node, adj in self._adjacency.items()}
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Every edge once as a ``(min, max)`` pair (with multiplicity)."""
+        seen: Dict[Tuple[int, int], int] = {}
+        for u, adj in self._adjacency.items():
+            for v in adj:
+                key = (u, v) if u <= v else (v, u)
+                seen[key] = seen.get(key, 0) + 1
+        result: List[Tuple[int, int]] = []
+        for (u, v), count in seen.items():
+            # Both endpoints contribute an adjacency entry per edge copy
+            # (self-loops contribute two entries at the same node), so every
+            # edge is seen exactly twice.
+            result.extend([(u, v)] * (count // 2))
+        return result
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if at least one edge joins ``u`` and ``v``."""
+        return v in self._adjacency.get(u, ())
+
+    def has_self_loop(self) -> bool:
+        """True if any node has an edge to itself."""
+        return any(node in adj for node, adj in self._adjacency.items())
+
+    def has_parallel_edges(self) -> bool:
+        """True if any pair of nodes is joined by more than one edge."""
+        for node, adj in self._adjacency.items():
+            non_loop = [v for v in adj if v != node]
+            if len(non_loop) != len(set(non_loop)):
+                return True
+        return False
+
+    def is_simple(self) -> bool:
+        """True if the graph has neither self-loops nor parallel edges."""
+        return not self.has_self_loop() and not self.has_parallel_edges()
+
+    def is_regular(self) -> bool:
+        """True if every node has the same degree."""
+        degrees = {len(adj) for adj in self._adjacency.values()}
+        return len(degrees) <= 1
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_networkx(self) -> "nx.Graph":
+        """Convert to a networkx ``Graph`` (parallel edges collapse)."""
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self._adjacency)
+        for u, v in self.edges():
+            nx_graph.add_edge(u, v)
+        return nx_graph
+
+    def to_networkx_multigraph(self) -> "nx.MultiGraph":
+        """Convert to a networkx ``MultiGraph`` preserving multiplicity."""
+        nx_graph = nx.MultiGraph()
+        nx_graph.add_nodes_from(self._adjacency)
+        for u, v in self.edges():
+            nx_graph.add_edge(u, v)
+        return nx_graph
+
+    def copy(self) -> "Graph":
+        """A deep copy of the graph."""
+        clone = Graph()
+        clone._adjacency = {node: list(adj) for node, adj in self._adjacency.items()}
+        clone._edge_count = self._edge_count
+        return clone

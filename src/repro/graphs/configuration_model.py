@@ -1,0 +1,267 @@
+"""The configuration (pairing) model for random d-regular graphs.
+
+This is the exact generative process the paper analyses (Section 1.2): start
+with ``n`` nodes carrying ``d`` unmatched stubs each; repeatedly pick two
+unmatched stubs uniformly at random and join them with an edge.  The process
+may create self-loops and parallel edges; the paper argues it is sufficient to
+analyse the algorithm on the (possibly non-simple) outcome because every
+simple d-regular graph is produced with equal probability and the failure
+probability is small for constant degrees.
+
+Three ways of obtaining a *simple* graph are provided, selectable through the
+``strategy`` parameter of :func:`random_regular_graph`:
+
+* ``"rejection"`` — draw pairings until one is simple.  Faithful to the
+  textbook description but the acceptance probability decays like
+  ``exp(-(d²-1)/4)``, so it is only practical for ``d ≤ 4`` or so.
+* ``"repair"`` — draw one pairing and remove self-loops / parallel edges by
+  uniform double-edge swaps.  This is the standard practical construction and
+  is asymptotically uniform for the degrees used here; it is the default for
+  larger ``d``.
+* ``"networkx"`` — delegate to :func:`networkx.random_regular_graph`.
+
+``strategy="auto"`` (default) picks rejection when the expected acceptance
+probability is reasonable and repair otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import GraphGenerationError
+from ..core.rng import RandomSource
+from .base import Graph
+
+__all__ = [
+    "pairing_multigraph",
+    "random_regular_graph",
+    "connected_random_regular_graph",
+    "validate_regular_parameters",
+    "repair_to_simple",
+]
+
+
+def validate_regular_parameters(n: int, d: int) -> None:
+    """Validate that an ``n``-node ``d``-regular graph can exist.
+
+    Requirements: ``n >= 2``, ``1 <= d < n``, and ``n * d`` even (handshake
+    lemma).  Raises :class:`GraphGenerationError` otherwise.
+    """
+    if n < 2:
+        raise GraphGenerationError(f"need at least two nodes, got n={n}")
+    if d < 1:
+        raise GraphGenerationError(f"degree must be at least 1, got d={d}")
+    if d >= n:
+        raise GraphGenerationError(f"degree d={d} must be smaller than n={n}")
+    if (n * d) % 2 != 0:
+        raise GraphGenerationError(
+            f"no d-regular graph exists for odd n*d (n={n}, d={d})"
+        )
+
+
+def _random_pairing(n: int, d: int, rng: RandomSource) -> np.ndarray:
+    """A uniformly random perfect matching of the ``n*d`` stubs.
+
+    Returns an array of node indices in which positions ``2i`` and ``2i+1``
+    are the endpoints of the ``i``-th edge.  Shuffling the stub array and
+    pairing consecutive entries is distributionally identical to the
+    sequential "match the next unmatched stub with a uniform unmatched stub"
+    description in the paper.
+    """
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    rng.generator.shuffle(stubs)
+    return stubs
+
+
+def pairing_multigraph(n: int, d: int, rng: RandomSource) -> Graph:
+    """One draw of the pairing process (self-loops / parallel edges allowed)."""
+    validate_regular_parameters(n, d)
+    stubs = _random_pairing(n, d, rng)
+    graph = Graph(range(n))
+    for i in range(0, n * d, 2):
+        graph.add_edge(int(stubs[i]), int(stubs[i + 1]))
+    return graph
+
+
+def _pairing_edge_array(n: int, d: int, rng: RandomSource) -> np.ndarray:
+    """The pairing as an ``(m, 2)`` edge array (no Graph object yet)."""
+    stubs = _random_pairing(n, d, rng)
+    return stubs.reshape(-1, 2)
+
+
+def repair_to_simple(
+    edges: np.ndarray, rng: RandomSource, max_passes: int = 200
+) -> np.ndarray:
+    """Remove self-loops and parallel edges from a pairing by double-edge swaps.
+
+    A *bad* edge (self-loop or duplicate of an earlier edge) is repaired by
+    picking a uniformly random partner edge and swapping one endpoint with it,
+    which preserves every node's degree.  Swaps that would create a new bad
+    edge are rejected and retried, so each pass strictly reduces (or at worst
+    preserves) the number of bad edges; a handful of passes suffices in
+    practice because the expected number of bad edges is ``O(d²)``.
+
+    Parameters
+    ----------
+    edges:
+        ``(m, 2)`` integer array of edge endpoints (modified copy returned).
+    rng:
+        Randomness source for partner selection.
+    max_passes:
+        Safety bound on repair sweeps before giving up.
+
+    Raises
+    ------
+    GraphGenerationError
+        If the edge multiset cannot be made simple within ``max_passes``.
+    """
+    edges = edges.copy()
+    m = edges.shape[0]
+
+    def edge_key(a: int, b: int):
+        return (a, b) if a <= b else (b, a)
+
+    for _ in range(max_passes):
+        seen = {}
+        bad_indices = []
+        for index in range(m):
+            u, v = int(edges[index, 0]), int(edges[index, 1])
+            if u == v:
+                bad_indices.append(index)
+                continue
+            key = edge_key(u, v)
+            if key in seen:
+                bad_indices.append(index)
+            else:
+                seen[key] = index
+        if not bad_indices:
+            return edges
+
+        edge_set = set(seen)
+        for index in bad_indices:
+            u, v = int(edges[index, 0]), int(edges[index, 1])
+            repaired = False
+            for _attempt in range(50):
+                partner = rng.randint(0, m)
+                if partner == index:
+                    continue
+                x, y = int(edges[partner, 0]), int(edges[partner, 1])
+                # Swap v and y: (u, v), (x, y) -> (u, y), (x, v).
+                new_a, new_b = edge_key(u, y), edge_key(x, v)
+                if u == y or x == v:
+                    continue
+                if new_a in edge_set or new_b in edge_set or new_a == new_b:
+                    continue
+                old_partner_key = edge_key(x, y)
+                edge_set.discard(old_partner_key)
+                edge_set.add(new_a)
+                edge_set.add(new_b)
+                edges[index, 1] = y
+                edges[partner, 1] = v
+                repaired = True
+                break
+            if not repaired:
+                # Leave it for the next pass (the partner pool will differ).
+                continue
+    raise GraphGenerationError(
+        f"could not repair pairing to a simple graph within {max_passes} passes"
+    )
+
+
+def _acceptance_probability(d: int) -> float:
+    """Approximate probability that a raw pairing is simple (McKay–Wormald)."""
+    return math.exp(-(d * d - 1) / 4.0)
+
+
+def random_regular_graph(
+    n: int,
+    d: int,
+    rng: RandomSource,
+    simple: bool = True,
+    strategy: str = "auto",
+    max_attempts: int = 200,
+) -> Graph:
+    """Generate a random ``d``-regular graph on ``n`` nodes.
+
+    Parameters
+    ----------
+    simple:
+        If True (default), return a graph without self-loops or parallel
+        edges.  If False, return one raw pairing draw (the multigraph model
+        the analysis works with directly).
+    strategy:
+        ``"rejection"``, ``"repair"``, ``"networkx"`` or ``"auto"`` (see the
+        module docstring).  Ignored when ``simple`` is False.
+    max_attempts:
+        Retry budget for the rejection strategy.
+
+    Raises
+    ------
+    GraphGenerationError
+        If the parameters are invalid, the strategy name is unknown, or no
+        simple graph could be produced within the budget.
+    """
+    validate_regular_parameters(n, d)
+    if not simple:
+        return pairing_multigraph(n, d, rng)
+
+    if strategy == "auto":
+        strategy = "rejection" if _acceptance_probability(d) >= 0.05 else "repair"
+
+    if strategy == "rejection":
+        for _ in range(max_attempts):
+            candidate = pairing_multigraph(n, d, rng)
+            if candidate.is_simple():
+                return candidate
+        raise GraphGenerationError(
+            f"failed to generate a simple {d}-regular graph on {n} nodes "
+            f"after {max_attempts} pairing attempts; use strategy='repair'"
+        )
+
+    if strategy == "repair":
+        edges = _pairing_edge_array(n, d, rng)
+        edges = repair_to_simple(edges, rng.spawn("repair"))
+        graph = Graph(range(n))
+        for u, v in edges:
+            graph.add_edge(int(u), int(v))
+        return graph
+
+    if strategy == "networkx":
+        nx_graph = nx.random_regular_graph(d, n, seed=rng.randint(0, 2**31 - 1))
+        return Graph.from_networkx(nx_graph)
+
+    raise GraphGenerationError(
+        f"unknown generation strategy {strategy!r}; "
+        "expected 'auto', 'rejection', 'repair', or 'networkx'"
+    )
+
+
+def connected_random_regular_graph(
+    n: int,
+    d: int,
+    rng: RandomSource,
+    simple: bool = True,
+    strategy: str = "auto",
+    max_attempts: int = 50,
+) -> Graph:
+    """A random d-regular graph that is connected.
+
+    For ``d >= 3`` a random regular graph is connected with high probability,
+    so this almost never retries; it exists so experiments can assume a single
+    component without sprinkling connectivity checks everywhere.
+    """
+    last: Optional[Graph] = None
+    for _ in range(max_attempts):
+        candidate = random_regular_graph(n, d, rng, simple=simple, strategy=strategy)
+        last = candidate
+        if nx.is_connected(candidate.to_networkx()):
+            return candidate
+    raise GraphGenerationError(
+        f"could not generate a connected {d}-regular graph on {n} nodes "
+        f"after {max_attempts} attempts (last attempt had "
+        f"{nx.number_connected_components(last.to_networkx())} components)"
+    )

@@ -1,0 +1,181 @@
+"""Structural property checks for generated graphs.
+
+The paper's analysis leans on a handful of structural facts about random
+regular graphs — connectivity for ``d >= 3``, logarithmic diameter, and edge
+expansion via the expander mixing lemma with second eigenvalue at most
+``2·sqrt(d-1)·(1+o(1))`` (Friedman's theorem).  This module computes those
+quantities for concrete graphs so experiments and tests can verify that the
+generated substrates actually have the properties the theory assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Set
+
+import networkx as nx
+import numpy as np
+
+from .base import Graph
+
+__all__ = [
+    "GraphProfile",
+    "is_connected",
+    "connected_components",
+    "diameter",
+    "average_shortest_path_length",
+    "degree_histogram",
+    "edge_boundary_size",
+    "edges_within",
+    "profile_graph",
+]
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Summary of the structural properties of one graph."""
+
+    node_count: int
+    edge_count: int
+    min_degree: int
+    max_degree: int
+    is_regular: bool
+    is_simple: bool
+    is_connected: bool
+    diameter: Optional[int]
+    second_eigenvalue: Optional[float]
+    friedman_bound: Optional[float]
+
+    def satisfies_friedman_bound(self, slack: float = 1.1) -> bool:
+        """True if λ₂ ≤ slack · 2√(d−1), the bound used in the lower-bound proof."""
+        if self.second_eigenvalue is None or self.friedman_bound is None:
+            return False
+        return self.second_eigenvalue <= slack * self.friedman_bound
+
+
+def is_connected(graph: Graph) -> bool:
+    """True if the graph has a single connected component."""
+    if graph.node_count == 0:
+        return True
+    return nx.is_connected(graph.to_networkx())
+
+
+def connected_components(graph: Graph) -> list:
+    """The connected components as a list of node-id sets."""
+    return [set(c) for c in nx.connected_components(graph.to_networkx())]
+
+
+def diameter(graph: Graph) -> int:
+    """Exact diameter (raises ``networkx.NetworkXError`` if disconnected)."""
+    return nx.diameter(graph.to_networkx())
+
+
+def average_shortest_path_length(graph: Graph) -> float:
+    """Average hop distance over all node pairs."""
+    return nx.average_shortest_path_length(graph.to_networkx())
+
+
+def degree_histogram(graph: Graph) -> dict:
+    """Mapping of degree value to the number of nodes with that degree."""
+    histogram: dict = {}
+    for degree in graph.degrees().values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def edge_boundary_size(graph: Graph, node_set: Set[int]) -> int:
+    """Number of edges between ``node_set`` and its complement.
+
+    This is ``|E(S, S̄)|`` in the paper's notation, the quantity bounded from
+    below by the expander mixing lemma in the proof of Theorem 1.
+    """
+    count = 0
+    for node in node_set:
+        if node not in graph:
+            continue
+        for neighbour in graph.neighbors(node):
+            if neighbour not in node_set:
+                count += 1
+    return count
+
+
+def edges_within(graph: Graph, node_set: Set[int]) -> int:
+    """Number of edges with both endpoints inside ``node_set`` ("inner edges").
+
+    Every inner edge contributes exactly two adjacency entries within the set
+    (self-loops contribute both of theirs at the same node), so the entry
+    count halves to the edge count.
+    """
+    count = 0
+    for node in node_set:
+        if node not in graph:
+            continue
+        for neighbour in graph.neighbors(node):
+            if neighbour in node_set:
+                count += 1
+    return count // 2
+
+
+def second_largest_adjacency_eigenvalue(graph: Graph) -> float:
+    """The second-largest eigenvalue (by value) of the adjacency matrix.
+
+    Computed densely with numpy; intended for the moderate sizes used in
+    property tests and profiles, not for the largest benchmark graphs.
+    """
+    nodes = graph.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    matrix = np.zeros((n, n))
+    for u, v in graph.edges():
+        if u == v:
+            matrix[index[u], index[u]] += 2
+        else:
+            matrix[index[u], index[v]] += 1
+            matrix[index[v], index[u]] += 1
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    return float(eigenvalues[-2]) if n >= 2 else 0.0
+
+
+def expander_mixing_bound(d: int, n: int, set_size: int, lam: float) -> float:
+    """Lower bound on ``|E(S, S̄)|`` from the expander mixing lemma.
+
+    For a d-regular graph with second eigenvalue ``lam`` and ``|S| = s``:
+
+        |E(S, S̄)| ≥ d·s·(n−s)/n − lam·sqrt(s·(n−s))
+
+    This is the inequality used in the lower-bound proof (Section 2).
+    """
+    s = set_size
+    expected = d * s * (n - s) / n
+    deviation = lam * math.sqrt(s * (n - s))
+    return max(0.0, expected - deviation)
+
+
+def profile_graph(graph: Graph, compute_spectrum: bool = True) -> GraphProfile:
+    """Compute a :class:`GraphProfile` for ``graph``.
+
+    ``compute_spectrum=False`` skips the dense eigenvalue computation (O(n³)),
+    which is the right choice above a few thousand nodes.
+    """
+    degrees = list(graph.degrees().values())
+    connected = is_connected(graph)
+    graph_diameter = diameter(graph) if connected and graph.node_count > 1 else None
+    lam: Optional[float] = None
+    friedman: Optional[float] = None
+    if compute_spectrum and graph.node_count >= 2:
+        lam = second_largest_adjacency_eigenvalue(graph)
+        if graph.is_regular() and degrees and degrees[0] >= 2:
+            friedman = 2.0 * math.sqrt(degrees[0] - 1)
+    return GraphProfile(
+        node_count=graph.node_count,
+        edge_count=graph.edge_count,
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        is_regular=graph.is_regular(),
+        is_simple=graph.is_simple(),
+        is_connected=connected,
+        diameter=graph_diameter,
+        second_eigenvalue=lam,
+        friedman_bound=friedman,
+    )

@@ -1,0 +1,31 @@
+"""Peer-to-peer application layer: overlay maintenance and replicated databases."""
+
+from .anti_entropy import AntiEntropyReport, AntiEntropySession
+from .gossip_rules import (
+    Algorithm1Rule,
+    Algorithm2Rule,
+    GossipRule,
+    PushPullRule,
+    PushRule,
+    build_gossip_rule,
+)
+from .overlay import Overlay
+from .peer import Peer, Update
+from .replicated_db import ReplicatedDatabase, ReplicationReport, UpdateWorkload
+
+__all__ = [
+    "Peer",
+    "Update",
+    "Overlay",
+    "GossipRule",
+    "PushRule",
+    "PushPullRule",
+    "Algorithm1Rule",
+    "Algorithm2Rule",
+    "build_gossip_rule",
+    "ReplicatedDatabase",
+    "ReplicationReport",
+    "UpdateWorkload",
+    "AntiEntropySession",
+    "AntiEntropyReport",
+]

@@ -1,0 +1,140 @@
+"""Anti-entropy repair for the replicated database.
+
+Rumour mongering (the gossip rules in :mod:`repro.p2p.gossip_rules`) stops
+transmitting an update once its age exceeds the rule's horizon, so a peer that
+joins after that point never hears about it through gossip alone.  Demers et
+al. pair rumour mongering with a slow *anti-entropy* process: periodically a
+peer picks a random neighbour, the two exchange digests of their stores, and
+each side sends the other every update the digest shows to be missing.  This
+module implements that repair pass over an :class:`~repro.p2p.overlay.Overlay`
+so the replicated-database experiments can quantify how quickly divergence
+introduced by churn is healed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.errors import ConfigurationError
+from ..core.rng import RandomSource
+from .overlay import Overlay
+from .peer import Peer, Update
+
+__all__ = ["AntiEntropySession", "AntiEntropyReport"]
+
+
+@dataclass(frozen=True)
+class AntiEntropyReport:
+    """Outcome of one or more anti-entropy rounds."""
+
+    rounds: int
+    exchanges: int
+    updates_transferred: int
+    bytes_transferred: int
+    final_divergence: float
+
+
+class AntiEntropySession:
+    """Periodic digest-exchange repair between neighbouring replicas.
+
+    Parameters
+    ----------
+    overlay:
+        The peer overlay whose edges define who may exchange digests.
+    peers:
+        The replica map (peer id → :class:`Peer`), typically the one owned by
+        a :class:`~repro.p2p.replicated_db.ReplicatedDatabase`.
+    rng:
+        Randomness source for partner selection.
+    exchanges_per_round:
+        How many digest exchanges each peer initiates per anti-entropy round
+        (1 is the classical setting).
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        peers: Dict[int, Peer],
+        rng: RandomSource,
+        exchanges_per_round: int = 1,
+    ) -> None:
+        if exchanges_per_round < 1:
+            raise ConfigurationError(
+                f"exchanges_per_round must be >= 1, got {exchanges_per_round}"
+            )
+        self.overlay = overlay
+        self.peers = peers
+        self.rng = rng
+        self.exchanges_per_round = exchanges_per_round
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _known_updates(self) -> Dict[tuple, Update]:
+        """The union of all updates currently stored at any replica."""
+        updates: Dict[tuple, Update] = {}
+        for peer in self.peers.values():
+            for update in peer.store.values():
+                updates[update.update_id] = update
+        return updates
+
+    def divergence(self) -> float:
+        """Average fraction of globally known updates missing per replica."""
+        updates = self._known_updates()
+        if not updates or not self.peers:
+            return 0.0
+        total = 0.0
+        for peer in self.peers.values():
+            missing = sum(1 for uid in updates if uid not in peer.known_updates)
+            total += missing / len(updates)
+        return total / len(self.peers)
+
+    def _reconcile(self, left: Peer, right: Peer) -> tuple:
+        """Exchange digests between two peers; return (updates, bytes) moved."""
+        transferred = 0
+        bytes_moved = 0
+        left_updates = {u.update_id: u for u in left.store.values()}
+        right_updates = {u.update_id: u for u in right.store.values()}
+        for update_id, update in left_updates.items():
+            if update_id not in right.known_updates:
+                right.apply(update)
+                transferred += 1
+                bytes_moved += update.size
+        for update_id, update in right_updates.items():
+            if update_id not in left.known_updates:
+                left.apply(update)
+                transferred += 1
+                bytes_moved += update.size
+        return transferred, bytes_moved
+
+    # -- main entry point ------------------------------------------------------------
+
+    def run(self, rounds: int = 1) -> AntiEntropyReport:
+        """Run ``rounds`` anti-entropy rounds and report what was repaired."""
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be non-negative, got {rounds}")
+        exchanges = 0
+        transferred = 0
+        bytes_moved = 0
+        for _ in range(rounds):
+            for peer_id in list(self.peers):
+                if peer_id not in self.overlay.graph:
+                    continue
+                neighbours: List[int] = [
+                    v for v in self.overlay.graph.neighbors(peer_id) if v in self.peers
+                ]
+                if not neighbours:
+                    continue
+                for _ in range(self.exchanges_per_round):
+                    partner = neighbours[self.rng.randint(0, len(neighbours))]
+                    moved, size = self._reconcile(self.peers[peer_id], self.peers[partner])
+                    exchanges += 1
+                    transferred += moved
+                    bytes_moved += size
+        return AntiEntropyReport(
+            rounds=rounds,
+            exchanges=exchanges,
+            updates_transferred=transferred,
+            bytes_transferred=bytes_moved,
+            final_divergence=self.divergence(),
+        )

@@ -1,0 +1,181 @@
+"""Age-based gossip rules for multi-update replication.
+
+In the phone call model every node opens its channels each round without
+knowing which updates exist, and then decides *per update* whether to send it
+via push or pull.  The paper makes this decision depend only on the update's
+age (rounds since creation) and on when the node itself received the update —
+that is what keeps the protocol address-oblivious and lets many concurrent
+updates share the same opened channels.
+
+A :class:`GossipRule` expresses exactly that decision function.  The rules
+mirror the single-message protocols:
+
+* :class:`PushRule` / :class:`PushPullRule` — classical epidemics with an
+  age-based cut-off (rumour mongering à la Demers et al. / Karp et al.).
+* :class:`Algorithm1Rule` / :class:`Algorithm2Rule` — the paper's
+  phase-structured algorithms, re-expressed as functions of update age.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from ..core.errors import ConfigurationError
+from ..protocols.schedule import PhaseSchedule, algorithm1_schedule, algorithm2_schedule
+
+__all__ = [
+    "GossipRule",
+    "PushRule",
+    "PushPullRule",
+    "Algorithm1Rule",
+    "Algorithm2Rule",
+    "build_gossip_rule",
+]
+
+
+class GossipRule(ABC):
+    """Per-update push/pull decisions as a function of age."""
+
+    #: Number of distinct neighbours each peer calls per round.
+    fanout: int = 1
+
+    @abstractmethod
+    def horizon(self) -> int:
+        """Maximum age (in rounds) after which the update is never sent again."""
+
+    @abstractmethod
+    def wants_push(self, age: int, received_age: int) -> bool:
+        """Should a peer push an update of this ``age``?
+
+        ``received_age`` is the update's age at the moment this peer first
+        received it (0 for the originator), which is how "newly informed" and
+        "active" states are expressed without storing per-peer flags.
+        """
+
+    @abstractmethod
+    def wants_pull(self, age: int, received_age: int) -> bool:
+        """Should a peer answer incoming calls with an update of this ``age``?"""
+
+    def active(self, age: int) -> bool:
+        """True while the update may still generate traffic."""
+        return 0 <= age <= self.horizon()
+
+    def describe(self) -> dict:
+        return {"rule": type(self).__name__, "fanout": self.fanout}
+
+
+class PushRule(GossipRule):
+    """Rumour mongering by push only, with an age cut-off of ``c·log₂ n``."""
+
+    def __init__(self, n_estimate: int, fanout: int = 1, horizon_factor: float = 3.0) -> None:
+        if n_estimate < 2:
+            raise ConfigurationError(f"n_estimate must be >= 2, got {n_estimate}")
+        self.fanout = fanout
+        self._horizon = max(1, math.ceil(horizon_factor * math.log2(n_estimate)))
+
+    def horizon(self) -> int:
+        return self._horizon
+
+    def wants_push(self, age: int, received_age: int) -> bool:
+        return 0 <= age <= self._horizon
+
+    def wants_pull(self, age: int, received_age: int) -> bool:
+        return False
+
+
+class PushPullRule(GossipRule):
+    """Karp-style push&pull with an age cut-off."""
+
+    def __init__(self, n_estimate: int, fanout: int = 1, horizon_factor: float = 3.0) -> None:
+        if n_estimate < 2:
+            raise ConfigurationError(f"n_estimate must be >= 2, got {n_estimate}")
+        self.fanout = fanout
+        self._horizon = max(1, math.ceil(horizon_factor * math.log2(n_estimate)))
+
+    def horizon(self) -> int:
+        return self._horizon
+
+    def wants_push(self, age: int, received_age: int) -> bool:
+        return 0 <= age <= self._horizon
+
+    def wants_pull(self, age: int, received_age: int) -> bool:
+        return 0 <= age <= self._horizon
+
+
+class _ScheduleRule(GossipRule):
+    """Shared machinery for the two schedule-driven rules."""
+
+    def __init__(self, schedule: PhaseSchedule, fanout: int) -> None:
+        self.schedule = schedule
+        self.fanout = fanout
+
+    def horizon(self) -> int:
+        return self.schedule.horizon
+
+    def _phase(self, age: int) -> int:
+        # Update age `a` corresponds to schedule round `a` (the update is
+        # created at age 0 and decisions start at age 1).
+        if age < 1 or age > self.schedule.horizon:
+            return 0
+        return self.schedule.phase_of(age)
+
+
+class Algorithm1Rule(_ScheduleRule):
+    """The Algorithm 1 phase structure applied per update age."""
+
+    def __init__(self, n_estimate: int, alpha: float = 1.0, fanout: int = 4) -> None:
+        super().__init__(algorithm1_schedule(n_estimate, alpha), fanout)
+        self.n_estimate = n_estimate
+        self.alpha = alpha
+
+    def wants_push(self, age: int, received_age: int) -> bool:
+        phase = self._phase(age)
+        if phase == 1:
+            # Push exactly once: in the round right after receiving the update.
+            return age == received_age + 1
+        if phase == 2:
+            return True
+        if phase == 4:
+            # "Active" peers are those that first received the update during
+            # Phase 3 or Phase 4.
+            return received_age > self.schedule.phase2_end
+        return False
+
+    def wants_pull(self, age: int, received_age: int) -> bool:
+        return self._phase(age) == 3
+
+
+class Algorithm2Rule(_ScheduleRule):
+    """The Algorithm 2 phase structure applied per update age."""
+
+    def __init__(self, n_estimate: int, alpha: float = 1.0, fanout: int = 4) -> None:
+        super().__init__(algorithm2_schedule(n_estimate, alpha), fanout)
+        self.n_estimate = n_estimate
+        self.alpha = alpha
+
+    def wants_push(self, age: int, received_age: int) -> bool:
+        phase = self._phase(age)
+        if phase == 1:
+            return age == received_age + 1
+        return phase == 2
+
+    def wants_pull(self, age: int, received_age: int) -> bool:
+        return self._phase(age) == 3
+
+
+def build_gossip_rule(name: str, n_estimate: int, **kwargs) -> GossipRule:
+    """Factory used by the replicated-database experiments and the CLI."""
+    builders = {
+        "push": PushRule,
+        "push-pull": PushPullRule,
+        "algorithm1": Algorithm1Rule,
+        "algorithm2": Algorithm2Rule,
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown gossip rule {name!r}; available: {sorted(builders)}"
+        ) from None
+    return builder(n_estimate, **kwargs)

@@ -1,0 +1,195 @@
+"""Random-regular overlay maintenance.
+
+P2P systems that want the properties the paper relies on — connectivity, low
+degree, high expansion, small diameter — maintain an (approximately) random
+regular overlay by performing local random edge swaps as peers join and leave
+(Cooper–Dyer–Greenhill, Mahlmann–Schindelhauer, Feder et al.).  This module
+implements:
+
+* :class:`Overlay` — a wrapper around :class:`repro.graphs.Graph` that tracks
+  a target degree and exposes join/leave operations;
+* the **1-Flipper / edge-swap Markov chain** (:meth:`Overlay.random_swaps`)
+  that re-randomises the topology: pick two disjoint edges ``(a, b)``,
+  ``(c, d)`` uniformly and replace them with ``(a, d)``, ``(c, b)`` when that
+  keeps the graph simple.  The chain preserves every node's degree and its
+  stationary distribution is uniform over the realisable degree sequence,
+  which is exactly how "random-like" P2P overlays are kept random.
+
+The broadcast experiments build overlays through this class when they need a
+network that also changes over time; static experiments use the graph
+generators directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.rng import RandomSource
+from ..graphs.base import Graph
+from ..graphs.configuration_model import random_regular_graph
+
+__all__ = ["Overlay"]
+
+
+class Overlay:
+    """A degree-bounded overlay graph with join, leave, and re-randomisation.
+
+    Parameters
+    ----------
+    n:
+        Initial number of peers.
+    degree:
+        Target degree of the overlay (the ``d`` of the paper).
+    rng:
+        Randomness source used for construction and all later mutations.
+    """
+
+    def __init__(self, n: int, degree: int, rng: RandomSource) -> None:
+        if degree < 3:
+            raise ConfigurationError(
+                f"overlay degree must be >= 3 for connectivity, got {degree}"
+            )
+        self.degree = degree
+        self._rng = rng
+        self.graph: Graph = random_regular_graph(n, degree, rng.spawn("overlay-init"))
+        self._next_peer_id = n
+
+    # -- membership -------------------------------------------------------------
+
+    def peer_ids(self) -> List[int]:
+        """All current peer ids (sorted)."""
+        return self.graph.nodes()
+
+    @property
+    def size(self) -> int:
+        """Number of peers currently in the overlay."""
+        return self.graph.node_count
+
+    def join(self) -> int:
+        """Add a new peer and splice it into ``degree // 2`` random edges.
+
+        Splicing replaces edge ``(u, v)`` with ``(u, joiner)`` and
+        ``(joiner, v)``; every existing node keeps its degree and the joiner
+        ends up with degree ``2·(degree // 2)``.  Returns the new peer id.
+        """
+        joiner = self._next_peer_id
+        self._next_peer_id += 1
+        self.graph.add_node(joiner)
+        edges = self.graph.edges()
+        splices = max(1, self.degree // 2)
+        for _ in range(splices):
+            if not edges:
+                break
+            u, v = edges[self._rng.randint(0, len(edges))]
+            if u == joiner or v == joiner or u == v or not self.graph.has_edge(u, v):
+                continue
+            self.graph.remove_edge(u, v)
+            self.graph.add_edge(u, joiner)
+            self.graph.add_edge(joiner, v)
+        return joiner
+
+    def leave(self, peer_id: Optional[int] = None) -> int:
+        """Remove a peer (random if unspecified) and patch the hole it leaves.
+
+        The departed peer's neighbours are re-paired with each other (matching
+        consecutive entries of its shuffled neighbour list), which keeps their
+        degrees unchanged whenever a simple re-pairing exists; leftover odd
+        neighbours lose one degree until maintenance restores it.  Returns the
+        id of the removed peer.
+        """
+        peers = self.graph.nodes()
+        if len(peers) <= self.degree + 1:
+            raise ConfigurationError(
+                "refusing to shrink the overlay below degree + 1 peers"
+            )
+        if peer_id is None:
+            peer_id = peers[self._rng.randint(0, len(peers))]
+        if peer_id not in self.graph:
+            raise ConfigurationError(f"peer {peer_id} is not in the overlay")
+
+        neighbours = [v for v in self.graph.neighbors(peer_id) if v != peer_id]
+        self.graph.remove_node(peer_id)
+        self._rng.shuffle(neighbours)
+        for i in range(0, len(neighbours) - 1, 2):
+            a, b = neighbours[i], neighbours[i + 1]
+            if a == b or self.graph.has_edge(a, b):
+                continue
+            if a in self.graph and b in self.graph:
+                self.graph.add_edge(a, b)
+        return peer_id
+
+    # -- re-randomisation -----------------------------------------------------------
+
+    def random_swaps(self, swaps: int) -> int:
+        """Run ``swaps`` steps of the double-edge-swap Markov chain.
+
+        Each step picks two edges uniformly at random and exchanges one
+        endpoint when the exchange keeps the graph simple.  Returns the number
+        of swaps actually performed (rejected proposals are counted as chain
+        steps but not as performed swaps, as usual for Metropolis-style
+        chains).
+        """
+        if swaps < 0:
+            raise ConfigurationError(f"swaps must be non-negative, got {swaps}")
+        performed = 0
+        for _ in range(swaps):
+            edges = self.graph.edges()
+            if len(edges) < 2:
+                break
+            first = edges[self._rng.randint(0, len(edges))]
+            second = edges[self._rng.randint(0, len(edges))]
+            a, b = first
+            c, d = second
+            if len({a, b, c, d}) < 4:
+                continue
+            if self.graph.has_edge(a, d) or self.graph.has_edge(c, b):
+                continue
+            if not self.graph.has_edge(a, b) or not self.graph.has_edge(c, d):
+                continue
+            self.graph.remove_edge(a, b)
+            self.graph.remove_edge(c, d)
+            self.graph.add_edge(a, d)
+            self.graph.add_edge(c, b)
+            performed += 1
+        return performed
+
+    # -- health ------------------------------------------------------------------------
+
+    def degree_deficit(self) -> int:
+        """Total number of missing stubs relative to the target degree."""
+        return sum(
+            max(0, self.degree - degree) for degree in self.graph.degrees().values()
+        )
+
+    def repair(self, max_edges: int = 1000) -> int:
+        """Greedily add edges between under-degree peers; returns edges added."""
+        added = 0
+        for _ in range(max_edges):
+            deficient = [
+                node
+                for node, degree in self.graph.degrees().items()
+                if degree < self.degree
+            ]
+            if len(deficient) < 2:
+                break
+            self._rng.shuffle(deficient)
+            a, b = deficient[0], deficient[1]
+            if a == b or self.graph.has_edge(a, b):
+                # Fall back to a swap-style repair through a random edge.
+                edges = self.graph.edges()
+                if not edges:
+                    break
+                u, v = edges[self._rng.randint(0, len(edges))]
+                if len({a, u, v}) == 3 and self.graph.has_edge(u, v):
+                    self.graph.remove_edge(u, v)
+                    if not self.graph.has_edge(a, u):
+                        self.graph.add_edge(a, u)
+                        added += 1
+                    if not self.graph.has_edge(a, v):
+                        self.graph.add_edge(a, v)
+                        added += 1
+                continue
+            self.graph.add_edge(a, b)
+            added += 1
+        return added

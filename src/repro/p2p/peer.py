@@ -1,0 +1,89 @@
+"""Peers and database updates for the replicated-database application.
+
+The paper's motivating application (following Demers et al.) is keeping
+replicas of a database consistent by broadcasting updates through the overlay.
+A :class:`Peer` holds a key–value store with per-key versions; an
+:class:`Update` is one write that must reach every replica.  Conflict
+resolution is last-writer-wins on ``(version, origin)``, which is determined
+entirely by the update itself so that replicas converge regardless of the
+order in which gossip delivers updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+__all__ = ["Update", "Peer"]
+
+
+@dataclass(frozen=True, order=True)
+class Update:
+    """One replicated-database write travelling through the gossip layer.
+
+    Ordering is by ``(key, version, origin)`` so that last-writer-wins
+    resolution is deterministic across replicas even for concurrent writes of
+    the same key and version.
+    """
+
+    key: str
+    version: int
+    origin: int
+    created_round: int
+    value: str = ""
+    size: int = 64
+
+    @property
+    def update_id(self) -> tuple:
+        """A globally unique identifier for the update."""
+        return (self.key, self.version, self.origin)
+
+    def age(self, current_round: int) -> int:
+        """Rounds elapsed since the update was created."""
+        return current_round - self.created_round
+
+    def supersedes(self, other: Optional["Update"]) -> bool:
+        """Last-writer-wins: True if this update should replace ``other``."""
+        if other is None:
+            return True
+        if self.key != other.key:
+            return False
+        return (self.version, self.origin) > (other.version, other.origin)
+
+
+@dataclass
+class Peer:
+    """One replica: a key–value store plus the set of updates it has heard of."""
+
+    peer_id: int
+    store: Dict[str, Update] = field(default_factory=dict)
+    known_updates: Set[tuple] = field(default_factory=set)
+    joined_round: int = 0
+
+    def knows(self, update: Update) -> bool:
+        """True if the peer has already received this exact update."""
+        return update.update_id in self.known_updates
+
+    def apply(self, update: Update) -> bool:
+        """Record ``update``; apply it to the store if it wins LWW.
+
+        Returns True if the update was new to this peer (regardless of
+        whether it won the write conflict), which is what gossip accounting
+        cares about.
+        """
+        if self.knows(update):
+            return False
+        self.known_updates.add(update.update_id)
+        current = self.store.get(update.key)
+        if update.supersedes(current):
+            self.store[update.key] = update
+        return True
+
+    def value_of(self, key: str) -> Optional[str]:
+        """The current value of ``key`` at this replica (None if unset)."""
+        update = self.store.get(key)
+        return update.value if update is not None else None
+
+    def digest(self) -> Dict[str, tuple]:
+        """A compact summary of the replica state, used to compare replicas."""
+        return {key: (u.version, u.origin, u.value) for key, u in self.store.items()}

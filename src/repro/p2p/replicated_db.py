@@ -1,0 +1,340 @@
+"""Replicated-database maintenance over a gossiping P2P overlay.
+
+This is the application the paper motivates in its introduction: replicas of a
+database scattered over a peer-to-peer overlay must learn about every update.
+The simulation runs many concurrent updates through the phone call model, with
+per-update push/pull decisions delegated to a :class:`GossipRule`
+(:mod:`repro.p2p.gossip_rules`).  As in the paper's cost model, all updates a
+peer wants to push over a channel are combined into one payload, but the
+transmission count charges one unit per update per channel (the amortised
+accounting of Karp et al.), and payload bytes are tracked separately for the
+bandwidth view.
+
+The simulation supports churn through the overlay's join/leave operations, so
+experiment E11 can measure convergence while the peer set changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.rng import RandomSource
+from .gossip_rules import GossipRule
+from .overlay import Overlay
+from .peer import Peer, Update
+
+__all__ = ["UpdateWorkload", "ReplicationReport", "ReplicatedDatabase"]
+
+
+@dataclass(frozen=True)
+class UpdateWorkload:
+    """How many updates enter the system, where, and for how long.
+
+    Attributes
+    ----------
+    updates_per_round:
+        Number of fresh updates created in each round of the injection window.
+    injection_rounds:
+        Number of rounds during which updates are created.
+    keys:
+        Size of the key space; origins and keys are drawn uniformly, so small
+        key spaces exercise the last-writer-wins conflict path.
+    value_size:
+        Abstract payload size per update (bytes) for bandwidth accounting.
+    """
+
+    updates_per_round: int = 1
+    injection_rounds: int = 1
+    keys: int = 16
+    value_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.updates_per_round < 0:
+            raise ConfigurationError("updates_per_round must be non-negative")
+        if self.injection_rounds < 0:
+            raise ConfigurationError("injection_rounds must be non-negative")
+        if self.keys < 1:
+            raise ConfigurationError("keys must be at least 1")
+
+    @property
+    def total_updates(self) -> int:
+        """Total number of updates the workload will create."""
+        return self.updates_per_round * self.injection_rounds
+
+
+@dataclass
+class ReplicationReport:
+    """Outcome of one replicated-database simulation."""
+
+    peers: int
+    updates_created: int
+    updates_fully_replicated: int
+    rounds_executed: int
+    total_transmissions: int
+    total_payload_bytes: int
+    total_channels_opened: int
+    convergence_rounds: Dict[tuple, int] = field(default_factory=dict)
+    divergence_curve: List[float] = field(default_factory=list)
+    final_divergence: float = 0.0
+
+    @property
+    def replication_rate(self) -> float:
+        """Fraction of created updates that reached every live replica."""
+        if self.updates_created == 0:
+            return 1.0
+        return self.updates_fully_replicated / self.updates_created
+
+    @property
+    def transmissions_per_update_per_peer(self) -> float:
+        """The per-update, per-peer transmission cost (the paper's headline unit)."""
+        if self.updates_created == 0 or self.peers == 0:
+            return 0.0
+        return self.total_transmissions / (self.updates_created * self.peers)
+
+    @property
+    def mean_convergence_rounds(self) -> float:
+        """Average rounds from creation to full replication (converged updates)."""
+        if not self.convergence_rounds:
+            return 0.0
+        return sum(self.convergence_rounds.values()) / len(self.convergence_rounds)
+
+
+class ReplicatedDatabase:
+    """Simulate replica convergence over a gossiping overlay.
+
+    Parameters
+    ----------
+    overlay:
+        The peer overlay (mutated in place when churn rates are non-zero).
+    rule:
+        Per-update push/pull decision rule (e.g. ``Algorithm1Rule``).
+    rng:
+        Randomness source for neighbour choices, workload placement and churn.
+    join_rate / leave_rate:
+        Expected per-round membership changes as a fraction of the current
+        overlay size.  New peers start with empty stores and must catch up via
+        gossip, which is the interesting case for convergence.
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        rule: GossipRule,
+        rng: RandomSource,
+        join_rate: float = 0.0,
+        leave_rate: float = 0.0,
+    ) -> None:
+        for name, rate in (("join_rate", join_rate), ("leave_rate", leave_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {rate}")
+        self.overlay = overlay
+        self.rule = rule
+        self.rng = rng
+        self.join_rate = join_rate
+        self.leave_rate = leave_rate
+        self.peers: Dict[int, Peer] = {
+            peer_id: Peer(peer_id=peer_id) for peer_id in overlay.peer_ids()
+        }
+        # Per-peer, per-update age at reception (0 for the originator).
+        self._received_age: Dict[int, Dict[tuple, int]] = {
+            peer_id: {} for peer_id in self.peers
+        }
+
+    # -- internal helpers ----------------------------------------------------------
+
+    def _inject_updates(
+        self, round_index: int, workload: UpdateWorkload, updates: Dict[tuple, Update]
+    ) -> None:
+        if round_index > workload.injection_rounds:
+            return
+        peer_ids = list(self.peers)
+        for _ in range(workload.updates_per_round):
+            origin = peer_ids[self.rng.randint(0, len(peer_ids))]
+            key = f"key-{self.rng.randint(0, workload.keys)}"
+            update = Update(
+                key=key,
+                version=round_index,
+                origin=origin,
+                created_round=round_index,
+                value=f"v{round_index}@{origin}",
+                size=workload.value_size,
+            )
+            updates[update.update_id] = update
+            self.peers[origin].apply(update)
+            self._received_age[origin][update.update_id] = 0
+
+    def _apply_churn(self, round_index: int) -> None:
+        if self.leave_rate > 0.0:
+            departures = self.rng.binomial(self.overlay.size, self.leave_rate)
+            for _ in range(departures):
+                if self.overlay.size <= self.overlay.degree + 2:
+                    break
+                peer_id = self.overlay.leave()
+                self.peers.pop(peer_id, None)
+                self._received_age.pop(peer_id, None)
+        if self.join_rate > 0.0:
+            arrivals = self.rng.binomial(self.overlay.size, self.join_rate)
+            for _ in range(arrivals):
+                peer_id = self.overlay.join()
+                self.peers[peer_id] = Peer(peer_id=peer_id, joined_round=round_index)
+                self._received_age[peer_id] = {}
+
+    def _transferable_updates(
+        self,
+        peer_id: int,
+        round_index: int,
+        updates: Dict[tuple, Update],
+        direction: str,
+    ) -> List[Update]:
+        """Updates ``peer_id`` would send in ``direction`` ("push"/"pull") now."""
+        result: List[Update] = []
+        received = self._received_age[peer_id]
+        for update_id, received_age in received.items():
+            update = updates[update_id]
+            age = update.age(round_index)
+            if not self.rule.active(age):
+                continue
+            if direction == "push" and self.rule.wants_push(age, received_age):
+                result.append(update)
+            elif direction == "pull" and self.rule.wants_pull(age, received_age):
+                result.append(update)
+        return result
+
+    def _deliver(
+        self,
+        recipient: int,
+        payload: List[Update],
+        round_index: int,
+        staged: Dict[int, List[Update]],
+    ) -> None:
+        if recipient not in self.peers:
+            return
+        staged.setdefault(recipient, []).extend(payload)
+
+    def _divergence(self, updates: Dict[tuple, Update]) -> float:
+        """Average fraction of known updates each live replica is missing."""
+        if not updates or not self.peers:
+            return 0.0
+        total = 0.0
+        for peer in self.peers.values():
+            missing = sum(1 for uid in updates if uid not in peer.known_updates)
+            total += missing / len(updates)
+        return total / len(self.peers)
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self, workload: UpdateWorkload, extra_rounds: Optional[int] = None) -> ReplicationReport:
+        """Run the gossip simulation until every update's horizon has passed.
+
+        ``extra_rounds`` overrides the automatic horizon (useful to study
+        partially converged states).
+        """
+        updates: Dict[tuple, Update] = {}
+        horizon = workload.injection_rounds + self.rule.horizon() + 1
+        if extra_rounds is not None:
+            horizon = workload.injection_rounds + max(1, extra_rounds)
+
+        total_transmissions = 0
+        total_payload_bytes = 0
+        total_channels = 0
+        divergence_curve: List[float] = []
+        convergence_rounds: Dict[tuple, int] = {}
+
+        for round_index in range(1, horizon + 1):
+            self._apply_churn(round_index)
+            self._inject_updates(round_index, workload, updates)
+
+            # Open channels: every peer calls `fanout` distinct neighbours.
+            channels: List[tuple] = []
+            for peer_id in list(self.peers):
+                if peer_id not in self.overlay.graph:
+                    continue
+                neighbours = self.overlay.graph.neighbors(peer_id)
+                if not neighbours:
+                    continue
+                targets = self.rng.sample_distinct(neighbours, self.rule.fanout)
+                for target in targets:
+                    if target == peer_id:
+                        continue
+                    channels.append((peer_id, target))
+            total_channels += len(channels)
+
+            staged: Dict[int, List[Update]] = {}
+            for caller, callee in channels:
+                if caller in self.peers:
+                    payload = self._transferable_updates(
+                        caller, round_index, updates, "push"
+                    )
+                    if payload:
+                        total_transmissions += len(payload)
+                        total_payload_bytes += sum(u.size for u in payload)
+                        self._deliver(callee, payload, round_index, staged)
+                if callee in self.peers:
+                    payload = self._transferable_updates(
+                        callee, round_index, updates, "pull"
+                    )
+                    if payload:
+                        total_transmissions += len(payload)
+                        total_payload_bytes += sum(u.size for u in payload)
+                        self._deliver(caller, payload, round_index, staged)
+
+            # Commit deliveries at the end of the round (synchronous model).
+            for recipient, payload in staged.items():
+                peer = self.peers.get(recipient)
+                if peer is None:
+                    continue
+                for update in payload:
+                    if peer.apply(update):
+                        self._received_age[recipient][update.update_id] = update.age(
+                            round_index
+                        )
+
+            # Convergence bookkeeping.
+            for update_id, update in updates.items():
+                if update_id in convergence_rounds:
+                    continue
+                if all(update_id in p.known_updates for p in self.peers.values()):
+                    convergence_rounds[update_id] = round_index - update.created_round
+            divergence_curve.append(self._divergence(updates))
+
+        final_divergence = divergence_curve[-1] if divergence_curve else 0.0
+        return ReplicationReport(
+            peers=len(self.peers),
+            updates_created=len(updates),
+            updates_fully_replicated=len(convergence_rounds),
+            rounds_executed=horizon,
+            total_transmissions=total_transmissions,
+            total_payload_bytes=total_payload_bytes,
+            total_channels_opened=total_channels,
+            convergence_rounds=convergence_rounds,
+            divergence_curve=divergence_curve,
+            final_divergence=final_divergence,
+        )
+
+    # -- repair -------------------------------------------------------------------------
+
+    def anti_entropy(self, rounds: int = 1, exchanges_per_round: int = 1):
+        """Run anti-entropy repair over the current replicas.
+
+        Late joiners miss updates whose gossip horizon has passed; a few
+        anti-entropy rounds (digest exchange with random neighbours) heal that
+        divergence.  Returns the :class:`~repro.p2p.anti_entropy.AntiEntropyReport`.
+        """
+        from .anti_entropy import AntiEntropySession
+
+        session = AntiEntropySession(
+            overlay=self.overlay,
+            peers=self.peers,
+            rng=self.rng.spawn("anti-entropy"),
+            exchanges_per_round=exchanges_per_round,
+        )
+        return session.run(rounds=rounds)
+
+    # -- inspection ---------------------------------------------------------------------
+
+    def replicas_agree(self) -> bool:
+        """True if every live replica has an identical store digest."""
+        digests = [peer.digest() for peer in self.peers.values()]
+        return all(d == digests[0] for d in digests[1:]) if digests else True

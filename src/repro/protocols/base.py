@@ -1,0 +1,172 @@
+"""The protocol interface driven by the round engine.
+
+A :class:`BroadcastProtocol` encapsulates every *decision* a node makes in the
+random phone call model — how many distinct neighbours to call, whether to
+push or pull the message this round, and when to stop — while the engine owns
+the mechanics (channel bookkeeping, delivery, failure injection, metrics).
+
+All protocols in this package are *address-oblivious* in the paper's sense:
+their decisions depend only on the current round number and on when the node
+itself became informed, never on the identity of the node at the other end of
+a channel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Set
+
+from ..core.node import NodeState, StateTable
+from ..core.rng import RandomSource
+
+__all__ = ["BroadcastProtocol"]
+
+
+class BroadcastProtocol(ABC):
+    """Decision logic of one broadcast protocol for one message.
+
+    A protocol instance is created per run (it may hold per-run state such as
+    the quasirandom pointer table) and is parameterised by the network size
+    estimate ``n_estimate`` the nodes are assumed to share.  The engine calls
+    the hooks in the order documented on each method.
+    """
+
+    #: Human-readable protocol name used in results and tables.
+    name: str = "abstract"
+
+    #: Number of most recent partners each node remembers and avoids when
+    #: choosing its next call target (0 disables the memory mechanism).  Only
+    #: the sequentialised variant of the model uses a non-zero window.
+    memory_window: int = 0
+
+    #: Set to True by protocols that need the per-channel exchange hook
+    #: (:meth:`on_channel_exchange`).  The engine skips the hook entirely for
+    #: protocols that leave this False, so the common case pays nothing.
+    needs_exchange_hook: bool = False
+
+    # -- scheduling -----------------------------------------------------------
+
+    @abstractmethod
+    def horizon(self) -> int:
+        """Total number of rounds the protocol runs for (its Monte Carlo budget)."""
+
+    def phase_label(self, round_index: int) -> str:
+        """Name of the phase ``round_index`` belongs to (for metrics); may be empty."""
+        return ""
+
+    # -- per-round gating -------------------------------------------------------
+
+    @abstractmethod
+    def push_round(self, round_index: int) -> bool:
+        """True if *any* node may push during ``round_index``.
+
+        Used by the engine as a coarse filter; per-node refinement happens in
+        :meth:`wants_push`.
+        """
+
+    @abstractmethod
+    def pull_round(self, round_index: int) -> bool:
+        """True if *any* node may pull during ``round_index``.
+
+        When False the engine skips sampling calls for nodes that will not
+        push, because those channels cannot carry information this round.
+        """
+
+    # -- per-node decisions -------------------------------------------------------
+
+    @abstractmethod
+    def fanout(self, state: NodeState, round_index: int) -> int:
+        """Number of distinct neighbours ``state``'s node calls this round."""
+
+    @abstractmethod
+    def wants_push(self, state: NodeState, round_index: int) -> bool:
+        """True if the node sends the message over its *outgoing* channels."""
+
+    @abstractmethod
+    def wants_pull(self, state: NodeState, round_index: int) -> bool:
+        """True if the node sends the message over its *incoming* channels."""
+
+    # -- neighbour selection -------------------------------------------------------
+
+    def select_call_targets(
+        self,
+        state: NodeState,
+        neighbours: List[int],
+        round_index: int,
+        rng: RandomSource,
+    ) -> List[int]:
+        """Choose which neighbours the node calls this round.
+
+        The default implementation samples ``fanout`` distinct entries of the
+        adjacency list uniformly at random (repeated adjacency entries model
+        parallel edges of the configuration model, so they legitimately weight
+        the draw).  Protocols with a memory window additionally avoid the most
+        recently contacted partners, falling back to the full neighbourhood if
+        the restriction would leave no candidates.
+        """
+        k = self.fanout(state, round_index)
+        if k <= 0 or not neighbours:
+            return []
+        candidates = neighbours
+        if self.memory_window > 0 and state.memory:
+            remembered = set(state.memory[-self.memory_window :])
+            filtered = [v for v in neighbours if v not in remembered]
+            if filtered:
+                candidates = filtered
+        targets = rng.sample_distinct(candidates, k)
+        if self.memory_window > 0:
+            for target in targets:
+                state.remember_partner(target, self.memory_window)
+        return targets
+
+    # -- lifecycle hooks -------------------------------------------------------------
+
+    def on_round_start(self, round_index: int, states: StateTable) -> None:
+        """Called before any channel is opened in ``round_index``."""
+
+    def on_channel_exchange(
+        self, caller_state: NodeState, callee_state: NodeState, round_index: int
+    ) -> None:
+        """Called once per open channel when :attr:`needs_exchange_hook` is True.
+
+        Runs after the round's transmissions but before deliveries commit, so
+        protocols that piggyback metadata on the communication (e.g. the
+        median-counter rule observing its partners' counters) can record what
+        each endpoint learned this round.
+        """
+
+    def on_round_committed(
+        self, round_index: int, states: StateTable, newly_informed: Set[int]
+    ) -> None:
+        """Called after deliveries of ``round_index`` have been committed.
+
+        Phase-structured protocols use this to flip per-node flags (e.g.
+        Algorithm 1 marks nodes informed during Phases 3–4 as ``active``).
+        """
+
+    def finished(self, round_index: int, states: StateTable) -> bool:
+        """True if the protocol has nothing further to do after ``round_index``.
+
+        The default is to simply run out the horizon.  The engine also stops
+        early when every node is informed if the simulation configuration
+        requests it.
+        """
+        return round_index >= self.horizon()
+
+    # -- misc -------------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """A serialisable description of the protocol's parameters."""
+        return {"name": self.name, "horizon": self.horizon()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r} horizon={self.horizon()}>"
+
+
+class OptionalHorizonMixin:
+    """Shared handling of an optional user-supplied horizon override."""
+
+    def resolve_horizon(self, default: int, override: Optional[int]) -> int:
+        """Return ``override`` if given, else ``default`` (both at least 1)."""
+        value = default if override is None else override
+        return max(1, int(value))

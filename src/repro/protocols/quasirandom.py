@@ -1,0 +1,87 @@
+"""Quasirandom rumour spreading (Doerr, Friedrich, Sauerwald) as a baseline.
+
+Each node holds a cyclic list of its neighbours (here: its adjacency list,
+which stands in for the adversarial list of the original paper).  When a node
+becomes informed it picks a uniformly random starting position in its list;
+from then on it pushes to successive list entries, one per round.  Doerr et
+al. show ``O(log n)`` broadcast time on hypercubes and random graphs, making
+this a natural deterministic-ish comparison point for the phase-structured
+algorithm: it also avoids re-calling recent partners, but via list order
+rather than memory or multiple simultaneous choices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.node import NodeState
+from ..core.rng import RandomSource
+from .base import BroadcastProtocol, OptionalHorizonMixin
+
+__all__ = ["QuasirandomPushProtocol"]
+
+
+class QuasirandomPushProtocol(BroadcastProtocol, OptionalHorizonMixin):
+    """Quasirandom push: random starting point, then deterministic list order."""
+
+    name = "quasirandom-push"
+
+    def __init__(
+        self,
+        n_estimate: int,
+        horizon_factor: float = 6.0,
+        horizon_override: Optional[int] = None,
+    ) -> None:
+        if n_estimate < 2:
+            raise ConfigurationError(f"n_estimate must be >= 2, got {n_estimate}")
+        if horizon_factor <= 0:
+            raise ConfigurationError(f"horizon_factor must be positive, got {horizon_factor}")
+        self.n_estimate = n_estimate
+        default = math.ceil(horizon_factor * math.log2(n_estimate))
+        self._horizon = self.resolve_horizon(default, horizon_override)
+        # Per-node pointer into the neighbour list; created lazily when the
+        # node first selects a target after becoming informed.
+        self._pointers: Dict[int, int] = {}
+
+    def horizon(self) -> int:
+        return self._horizon
+
+    def push_round(self, round_index: int) -> bool:
+        return True
+
+    def pull_round(self, round_index: int) -> bool:
+        return False
+
+    def fanout(self, state: NodeState, round_index: int) -> int:
+        return 1 if state.informed else 0
+
+    def wants_push(self, state: NodeState, round_index: int) -> bool:
+        return state.informed
+
+    def wants_pull(self, state: NodeState, round_index: int) -> bool:
+        return False
+
+    def select_call_targets(
+        self,
+        state: NodeState,
+        neighbours: List[int],
+        round_index: int,
+        rng: RandomSource,
+    ) -> List[int]:
+        """Return the next neighbour in the node's cyclic list order."""
+        if not neighbours or not state.informed:
+            return []
+        node_id = state.node_id
+        if node_id not in self._pointers:
+            self._pointers[node_id] = rng.randint(0, len(neighbours))
+        pointer = self._pointers[node_id]
+        target = neighbours[pointer % len(neighbours)]
+        self._pointers[node_id] = pointer + 1
+        return [target]
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description.update({"n_estimate": self.n_estimate})
+        return description

@@ -1,0 +1,61 @@
+"""A small factory/registry for protocols, used by the CLI and sweeps.
+
+Experiments and the command line refer to protocols by short names
+(``"push"``, ``"algorithm1"``, ...); the registry maps those names to
+constructor callables so that sweep definitions remain declarative strings
+rather than imports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.errors import ConfigurationError
+from .algorithm1 import Algorithm1
+from .algorithm2 import Algorithm2
+from .base import BroadcastProtocol
+from .median_counter import MedianCounterProtocol
+from .pull import PullProtocol
+from .push import PushProtocol
+from .push_pull import PushPullProtocol
+from .quasirandom import QuasirandomPushProtocol
+from .sequential import SequentialAlgorithm1
+
+__all__ = ["PROTOCOL_BUILDERS", "build_protocol", "available_protocols"]
+
+
+ProtocolBuilder = Callable[..., BroadcastProtocol]
+
+
+PROTOCOL_BUILDERS: Dict[str, ProtocolBuilder] = {
+    "push": PushProtocol,
+    "pull": PullProtocol,
+    "push-pull": PushPullProtocol,
+    "push-pull-4": lambda n_estimate, **kw: PushPullProtocol(n_estimate, fanout=4, **kw),
+    "algorithm1": Algorithm1,
+    "algorithm2": Algorithm2,
+    "algorithm1-sequential": SequentialAlgorithm1,
+    "quasirandom-push": QuasirandomPushProtocol,
+    "median-counter": MedianCounterProtocol,
+}
+
+
+def available_protocols() -> list:
+    """The sorted list of registered protocol names."""
+    return sorted(PROTOCOL_BUILDERS)
+
+
+def build_protocol(name: str, n_estimate: int, **kwargs) -> BroadcastProtocol:
+    """Instantiate the protocol registered under ``name``.
+
+    Parameters beyond ``n_estimate`` are forwarded to the protocol
+    constructor, so e.g. ``build_protocol("algorithm1", 4096, alpha=1.5)``
+    works as expected.
+    """
+    try:
+        builder = PROTOCOL_BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        ) from None
+    return builder(n_estimate, **kwargs)

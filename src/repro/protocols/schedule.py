@@ -1,0 +1,145 @@
+"""Phase schedules for the paper's Algorithms 1 and 2.
+
+Both algorithms are structured into time phases whose lengths are functions of
+``α``, ``log n`` and ``log log n`` (Section 3 of the paper):
+
+Algorithm 1 (small degrees, ``δ ≤ d ≤ δ·log log n``):
+
+* Phase 1 — rounds ``1 .. ⌈α·log n⌉``: a node pushes only in the round right
+  after it first received (or created) the message.
+* Phase 2 — rounds ``⌈α·log n⌉+1 .. ⌈α(log n + log log n)⌉``: every informed
+  node pushes.
+* Phase 3 — the single round ``⌈α(log n + log log n)⌉ + 1``: every informed
+  node pulls (answers all incoming calls).
+* Phase 4 — up to round ``2⌈α·log n⌉ + ⌈α·log log n⌉``: nodes informed during
+  Phases 3–4 become *active* and push in every remaining round.
+
+Algorithm 2 (large degrees, ``δ·log log n ≤ d ≤ δ·log n``) shares Phases 1–2
+and replaces Phases 3–4 with a pull phase of length ``α·log log n``.
+
+The nodes only need an *estimate* of ``n`` to compute these boundaries; the
+robustness experiments exercise estimates off by powers of two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "PhaseSchedule",
+    "algorithm1_schedule",
+    "algorithm2_schedule",
+    "log2_estimate",
+    "loglog_estimate",
+]
+
+
+def log2_estimate(n_estimate: float) -> float:
+    """``log₂ n`` guarded against degenerate estimates (< 2)."""
+    return math.log2(max(2.0, float(n_estimate)))
+
+
+def loglog_estimate(n_estimate: float) -> float:
+    """``log₂ log₂ n`` guarded so that it is always at least 1."""
+    return max(1.0, math.log2(max(2.0, log2_estimate(n_estimate))))
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """Round boundaries of a phase-structured protocol.
+
+    Phases are half-open on the left and closed on the right, expressed with
+    1-based round indices: phase ``i`` covers rounds
+    ``(end of phase i-1, end of phase i]``.  A phase of zero length (equal
+    consecutive boundaries) simply never matches.
+    """
+
+    phase1_end: int
+    phase2_end: int
+    phase3_end: int
+    phase4_end: int
+
+    def __post_init__(self) -> None:
+        boundaries = (self.phase1_end, self.phase2_end, self.phase3_end, self.phase4_end)
+        if any(b < 0 for b in boundaries):
+            raise ConfigurationError(f"phase boundaries must be non-negative: {boundaries}")
+        if list(boundaries) != sorted(boundaries):
+            raise ConfigurationError(f"phase boundaries must be non-decreasing: {boundaries}")
+
+    @property
+    def horizon(self) -> int:
+        """Total number of rounds the schedule spans."""
+        return self.phase4_end
+
+    def phase_of(self, round_index: int) -> int:
+        """The phase number (1–4) containing ``round_index``.
+
+        Raises :class:`ConfigurationError` for rounds outside the schedule.
+        """
+        if round_index < 1 or round_index > self.phase4_end:
+            raise ConfigurationError(
+                f"round {round_index} outside schedule horizon {self.phase4_end}"
+            )
+        if round_index <= self.phase1_end:
+            return 1
+        if round_index <= self.phase2_end:
+            return 2
+        if round_index <= self.phase3_end:
+            return 3
+        return 4
+
+    def label_of(self, round_index: int) -> str:
+        """Human-readable phase label, e.g. ``"phase2"``."""
+        return f"phase{self.phase_of(round_index)}"
+
+    def phase_lengths(self) -> dict:
+        """Mapping of phase label to its length in rounds."""
+        return {
+            "phase1": self.phase1_end,
+            "phase2": self.phase2_end - self.phase1_end,
+            "phase3": self.phase3_end - self.phase2_end,
+            "phase4": self.phase4_end - self.phase3_end,
+        }
+
+
+def algorithm1_schedule(n_estimate: float, alpha: float) -> PhaseSchedule:
+    """The Algorithm 1 (small-degree) schedule for a given ``α`` and size estimate."""
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    log_n = log2_estimate(n_estimate)
+    loglog_n = loglog_estimate(n_estimate)
+    phase1_end = math.ceil(alpha * log_n)
+    phase2_end = math.ceil(alpha * (log_n + loglog_n))
+    phase3_end = phase2_end + 1
+    phase4_end = max(phase3_end, 2 * math.ceil(alpha * log_n) + math.ceil(alpha * loglog_n))
+    return PhaseSchedule(
+        phase1_end=phase1_end,
+        phase2_end=phase2_end,
+        phase3_end=phase3_end,
+        phase4_end=phase4_end,
+    )
+
+
+def algorithm2_schedule(n_estimate: float, alpha: float) -> PhaseSchedule:
+    """The Algorithm 2 (large-degree) schedule.
+
+    Phases 1–2 match Algorithm 1; Phase 3 is a pull phase of length
+    ``α·log log n`` (the paper's "⌈α log n + 2α log log n⌉" end point) and
+    there is no Phase 4 (its boundary coincides with Phase 3's).
+    """
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    log_n = log2_estimate(n_estimate)
+    loglog_n = loglog_estimate(n_estimate)
+    phase1_end = math.ceil(alpha * log_n)
+    phase2_end = math.ceil(alpha * (log_n + loglog_n))
+    phase3_end = max(phase2_end + 1, math.ceil(alpha * log_n + 2 * alpha * loglog_n))
+    return PhaseSchedule(
+        phase1_end=phase1_end,
+        phase2_end=phase2_end,
+        phase3_end=phase3_end,
+        phase4_end=phase3_end,
+    )

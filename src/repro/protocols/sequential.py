@@ -1,0 +1,137 @@
+"""The sequentialised (memory) variant of the four-choice model.
+
+Footnote 2 of the paper: instead of calling four distinct neighbours
+simultaneously, each node calls *one* neighbour per round chosen uniformly
+from the neighbours **not contacted during the last three rounds**.  Four
+consecutive rounds of this sequential model correspond to one round of the
+simultaneous model, so all the paper's results carry over (the idea goes back
+to Elsässer & Sauerwald, SODA'08 — "the power of memory in randomized
+broadcasting").
+
+:class:`SequentialAlgorithm1` runs the Algorithm 1 phase structure on a
+schedule stretched by the sequentialisation factor, with every node calling a
+single remembered-avoiding neighbour per round.  Experiment E10 compares it
+against the simultaneous :class:`repro.protocols.algorithm1.Algorithm1`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..core.errors import ConfigurationError
+from ..core.node import NodeState, StateTable
+from .base import BroadcastProtocol
+from .schedule import PhaseSchedule, algorithm1_schedule
+
+__all__ = ["SequentialAlgorithm1"]
+
+
+class SequentialAlgorithm1(BroadcastProtocol):
+    """Algorithm 1 re-expressed in the sequential one-call-with-memory model.
+
+    Parameters
+    ----------
+    n_estimate:
+        Shared network-size estimate.
+    alpha:
+        Phase-length constant of the underlying Algorithm 1 schedule.
+    memory_window:
+        How many recent partners each node avoids (the paper uses 3, which
+        makes four consecutive calls pairwise distinct).
+    stretch:
+        How many sequential rounds emulate one simultaneous round; defaults to
+        ``memory_window + 1`` (i.e. 4), matching the paper's equivalence.
+    """
+
+    name = "algorithm1-sequential"
+
+    def __init__(
+        self,
+        n_estimate: int,
+        alpha: float = 1.0,
+        memory_window: int = 3,
+        stretch: Optional[int] = None,
+    ) -> None:
+        if n_estimate < 2:
+            raise ConfigurationError(f"n_estimate must be >= 2, got {n_estimate}")
+        if memory_window < 0:
+            raise ConfigurationError(f"memory_window must be >= 0, got {memory_window}")
+        self.n_estimate = n_estimate
+        self.alpha = alpha
+        self.memory_window = memory_window
+        self.stretch = stretch if stretch is not None else memory_window + 1
+        if self.stretch < 1:
+            raise ConfigurationError(f"stretch must be >= 1, got {self.stretch}")
+        self._base_schedule: PhaseSchedule = algorithm1_schedule(n_estimate, alpha)
+
+    # -- schedule mapping ---------------------------------------------------------
+
+    def _base_round(self, round_index: int) -> int:
+        """Map a sequential round onto the simultaneous-model round it emulates."""
+        return (round_index - 1) // self.stretch + 1
+
+    def horizon(self) -> int:
+        return self._base_schedule.horizon * self.stretch
+
+    def phase_label(self, round_index: int) -> str:
+        return self._base_schedule.label_of(self._base_round(round_index))
+
+    def push_round(self, round_index: int) -> bool:
+        return self._base_schedule.phase_of(self._base_round(round_index)) in (1, 2, 4)
+
+    def pull_round(self, round_index: int) -> bool:
+        return self._base_schedule.phase_of(self._base_round(round_index)) == 3
+
+    # -- per-node decisions ----------------------------------------------------------
+
+    def fanout(self, state: NodeState, round_index: int) -> int:
+        return 1
+
+    def wants_push(self, state: NodeState, round_index: int) -> bool:
+        if not state.informed:
+            return False
+        phase = self._base_schedule.phase_of(self._base_round(round_index))
+        if phase == 1:
+            # "Newly informed" is interpreted at the granularity of emulated
+            # rounds: a node pushes during the whole block of sequential
+            # rounds that follows the block in which it became informed.
+            if state.informed_round is None:
+                return False
+            informed_block = (
+                0
+                if state.informed_round == 0
+                else self._base_round(state.informed_round)
+            )
+            return self._base_round(round_index) == informed_block + 1
+        if phase == 2:
+            return True
+        if phase == 4:
+            return state.active
+        return False
+
+    def wants_pull(self, state: NodeState, round_index: int) -> bool:
+        return (
+            state.informed
+            and self._base_schedule.phase_of(self._base_round(round_index)) == 3
+        )
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def on_round_committed(
+        self, round_index: int, states: StateTable, newly_informed: Set[int]
+    ) -> None:
+        if self._base_schedule.phase_of(self._base_round(round_index)) >= 3:
+            for node_id in newly_informed:
+                states[node_id].active = True
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description.update(
+            {
+                "alpha": self.alpha,
+                "memory_window": self.memory_window,
+                "stretch": self.stretch,
+                "n_estimate": self.n_estimate,
+            }
+        )
+        return description

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rng import RandomSource
+from repro.graphs.base import Graph
+from repro.graphs.configuration_model import random_regular_graph
+from repro.graphs.families import complete_graph
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic randomness source."""
+    return RandomSource(seed=12345)
+
+
+@pytest.fixture
+def small_regular_graph(rng: RandomSource) -> Graph:
+    """A connected-ish random 4-regular graph on 64 nodes."""
+    return random_regular_graph(64, 4, rng.spawn("fixture-graph"))
+
+
+@pytest.fixture
+def medium_regular_graph(rng: RandomSource) -> Graph:
+    """A random 8-regular graph on 256 nodes (used by integration tests)."""
+    return random_regular_graph(256, 8, rng.spawn("fixture-graph-medium"))
+
+
+@pytest.fixture
+def tiny_complete_graph() -> Graph:
+    """The complete graph on 8 nodes, handy for exact-count assertions."""
+    return complete_graph(8)
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A 5-node path graph: 0-1-2-3-4."""
+    return Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])

@@ -1,0 +1,169 @@
+"""Unit tests for Algorithm 1, Algorithm 2, and the sequential variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.node import NodeState, StateTable
+from repro.core.rng import RandomSource
+from repro.protocols.algorithm1 import Algorithm1
+from repro.protocols.algorithm2 import Algorithm2
+from repro.protocols.sequential import SequentialAlgorithm1
+
+
+def state_informed_at(round_index: int, node_id: int = 0) -> NodeState:
+    state = NodeState(node_id=node_id)
+    state.informed = True
+    state.informed_round = round_index
+    return state
+
+
+class TestAlgorithm1Decisions:
+    def setup_method(self):
+        self.protocol = Algorithm1(n_estimate=1024, alpha=1.0)
+        self.schedule = self.protocol.schedule
+
+    def test_horizon_matches_schedule(self):
+        assert self.protocol.horizon() == self.schedule.horizon
+
+    def test_phase1_only_newly_informed_push(self):
+        round_index = 3
+        assert self.schedule.phase_of(round_index) == 1
+        fresh = state_informed_at(round_index - 1)
+        stale = state_informed_at(round_index - 2)
+        uninformed = NodeState(node_id=9)
+        assert self.protocol.wants_push(fresh, round_index)
+        assert not self.protocol.wants_push(stale, round_index)
+        assert not self.protocol.wants_push(uninformed, round_index)
+
+    def test_source_pushes_in_round_one(self):
+        source = state_informed_at(0)
+        assert self.protocol.wants_push(source, 1)
+
+    def test_phase2_every_informed_node_pushes(self):
+        round_index = self.schedule.phase1_end + 1
+        assert self.schedule.phase_of(round_index) == 2
+        assert self.protocol.wants_push(state_informed_at(0), round_index)
+        assert not self.protocol.wants_pull(state_informed_at(0), round_index)
+
+    def test_phase3_is_pull_only(self):
+        round_index = self.schedule.phase2_end + 1
+        assert self.schedule.phase_of(round_index) == 3
+        assert self.protocol.pull_round(round_index)
+        assert not self.protocol.push_round(round_index)
+        assert self.protocol.wants_pull(state_informed_at(0), round_index)
+        assert not self.protocol.wants_push(state_informed_at(0), round_index)
+
+    def test_phase4_only_active_nodes_push(self):
+        round_index = self.schedule.phase3_end + 1
+        assert self.schedule.phase_of(round_index) == 4
+        active = state_informed_at(self.schedule.phase3_end)
+        active.active = True
+        dormant = state_informed_at(1)
+        assert self.protocol.wants_push(active, round_index)
+        assert not self.protocol.wants_push(dormant, round_index)
+
+    def test_on_round_committed_activates_late_joiners(self):
+        states = StateTable(n=4, source=0)
+        states[2].deliver(self.schedule.phase3_end)
+        states.commit_round()
+        self.protocol.on_round_committed(self.schedule.phase3_end, states, {2})
+        assert states[2].active
+        assert not states[1].active
+
+    def test_on_round_committed_ignores_early_phases(self):
+        states = StateTable(n=4, source=0)
+        states[2].deliver(1)
+        states.commit_round()
+        self.protocol.on_round_committed(1, states, {2})
+        assert not states[2].active
+
+    def test_fanout_and_naming(self):
+        assert self.protocol.fanout(NodeState(node_id=0), 1) == 4
+        assert Algorithm1(n_estimate=256, fanout=3).name == "algorithm1-f3"
+        assert Algorithm1(n_estimate=256).name == "algorithm1"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Algorithm1(n_estimate=1)
+        with pytest.raises(ConfigurationError):
+            Algorithm1(n_estimate=256, fanout=0)
+
+    def test_describe_reports_phase_lengths(self):
+        description = self.protocol.describe()
+        assert set(description["phase_lengths"]) == {"phase1", "phase2", "phase3", "phase4"}
+        assert description["alpha"] == 1.0
+
+
+class TestAlgorithm2Decisions:
+    def setup_method(self):
+        self.protocol = Algorithm2(n_estimate=1024, alpha=1.0)
+        self.schedule = self.protocol.schedule
+
+    def test_phase1_and_2_match_algorithm1_semantics(self):
+        assert self.protocol.wants_push(state_informed_at(0), 1)
+        phase2_round = self.schedule.phase1_end + 1
+        assert self.protocol.wants_push(state_informed_at(0), phase2_round)
+
+    def test_phase3_is_a_multi_round_pull_phase(self):
+        pull_rounds = [
+            t
+            for t in range(1, self.schedule.horizon + 1)
+            if self.protocol.pull_round(t)
+        ]
+        assert len(pull_rounds) >= 2
+        for t in pull_rounds:
+            assert self.protocol.wants_pull(state_informed_at(0), t)
+            assert not self.protocol.wants_push(state_informed_at(0), t)
+
+    def test_no_phase4(self):
+        assert self.schedule.phase3_end == self.schedule.phase4_end
+
+
+class TestSequentialAlgorithm1:
+    def setup_method(self):
+        self.protocol = SequentialAlgorithm1(n_estimate=1024, alpha=1.0)
+
+    def test_horizon_is_stretched(self):
+        simultaneous = Algorithm1(n_estimate=1024, alpha=1.0)
+        assert self.protocol.horizon() == 4 * simultaneous.horizon()
+
+    def test_fanout_is_one(self):
+        assert self.protocol.fanout(NodeState(node_id=0), 1) == 1
+
+    def test_memory_window_defaults_to_three(self):
+        assert self.protocol.memory_window == 3
+        assert self.protocol.stretch == 4
+
+    def test_select_call_targets_avoids_recent_partners(self):
+        state = state_informed_at(0)
+        rng = RandomSource(seed=1)
+        neighbours = [1, 2, 3, 4, 5, 6, 7, 8]
+        picks = [
+            self.protocol.select_call_targets(state, neighbours, t, rng)[0]
+            for t in range(1, 5)
+        ]
+        # Four consecutive picks must be pairwise distinct thanks to the memory.
+        assert len(set(picks)) == 4
+
+    def test_memory_falls_back_when_all_neighbours_remembered(self):
+        state = state_informed_at(0)
+        state.memory = [1, 2]
+        rng = RandomSource(seed=1)
+        picks = self.protocol.select_call_targets(state, [1, 2], 1, rng)
+        assert picks and picks[0] in {1, 2}
+
+    def test_source_pushes_during_first_emulated_block(self):
+        source = state_informed_at(0)
+        for round_index in range(1, 5):
+            assert self.protocol.wants_push(source, round_index)
+        assert not self.protocol.wants_push(source, 5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SequentialAlgorithm1(n_estimate=1)
+        with pytest.raises(ConfigurationError):
+            SequentialAlgorithm1(n_estimate=256, memory_window=-1)
+        with pytest.raises(ConfigurationError):
+            SequentialAlgorithm1(n_estimate=256, stretch=0)

@@ -1,0 +1,178 @@
+"""Unit tests for repro.analysis (bounds, scaling fits, statistics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    algorithm1_transmission_bound,
+    fountoulakis_panagiotou_constant,
+    karp_phase_estimates,
+    lower_bound_transmissions,
+    pull_endgame_rounds,
+    push_round_estimate,
+    push_transmission_estimate,
+)
+from repro.analysis.scaling import (
+    GROWTH_LAWS,
+    best_scaling_law,
+    compare_scaling_laws,
+    fit_scaling_law,
+)
+from repro.analysis.stats import (
+    Summary,
+    confidence_interval,
+    mean,
+    median,
+    percentile,
+    std,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestBounds:
+    def test_lower_bound_formula(self):
+        assert lower_bound_transmissions(1024, 2) == pytest.approx(1024 * 10)
+        assert lower_bound_transmissions(1024, 32) == pytest.approx(1024 * 2)
+
+    def test_lower_bound_decreases_with_degree(self):
+        assert lower_bound_transmissions(4096, 4) > lower_bound_transmissions(4096, 16)
+
+    def test_lower_bound_constant_scales(self):
+        assert lower_bound_transmissions(256, 4, constant=2.0) == pytest.approx(
+            2 * lower_bound_transmissions(256, 4)
+        )
+
+    def test_lower_bound_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            lower_bound_transmissions(1, 4)
+        with pytest.raises(ConfigurationError):
+            lower_bound_transmissions(100, 1)
+
+    def test_algorithm1_bound_grows_like_n_loglog(self):
+        small = algorithm1_transmission_bound(2**10)
+        large = algorithm1_transmission_bound(2**20)
+        # Per-node cost grows by one phase-2 unit when log log n gains one.
+        assert large / 2**20 - small / 2**10 == pytest.approx(4.0, abs=1e-6)
+
+    def test_push_estimates_monotone(self):
+        assert push_round_estimate(2048) > push_round_estimate(256)
+        assert push_transmission_estimate(2048) > push_transmission_estimate(256)
+
+    def test_fountoulakis_panagiotou_constant(self):
+        # C_d decreases towards the complete-graph constant as d grows.
+        c4 = fountoulakis_panagiotou_constant(4)
+        c64 = fountoulakis_panagiotou_constant(64)
+        assert c4 > c64 > 1.0
+        with pytest.raises(ConfigurationError):
+            fountoulakis_panagiotou_constant(1)
+
+    def test_pull_endgame_rounds(self):
+        assert pull_endgame_rounds(4096, 8) == pytest.approx(math.log(4096) / math.log(8))
+        assert pull_endgame_rounds(4096, 64) < pull_endgame_rounds(4096, 8)
+
+    def test_karp_phase_estimates(self):
+        estimates = karp_phase_estimates(1 << 16)
+        assert estimates["rounds_to_half"] == pytest.approx(16.0)
+        assert estimates["pull_tail_rounds"] < estimates["push_tail_rounds"]
+
+
+class TestScalingFits:
+    def test_recovers_a_log_law(self):
+        sizes = [2**k for k in range(8, 16)]
+        values = [3.0 + 2.0 * math.log2(n) for n in sizes]
+        fit = fit_scaling_law(sizes, values, "log")
+        assert fit.slope == pytest.approx(2.0, abs=1e-6)
+        assert fit.intercept == pytest.approx(3.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_a_loglog_law(self):
+        sizes = [2**k for k in range(8, 20)]
+        values = [1.0 + 5.0 * math.log2(math.log2(n)) for n in sizes]
+        fit = fit_scaling_law(sizes, values, "loglog")
+        assert fit.slope == pytest.approx(5.0, abs=1e-6)
+
+    def test_constant_law_uses_mean(self):
+        fit = fit_scaling_law([10, 100, 1000], [4.0, 6.0, 8.0], "constant")
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(6.0)
+
+    def test_best_law_identifies_generator(self):
+        sizes = [2**k for k in range(8, 18)]
+        log_values = [1.0 + 2.0 * math.log2(n) for n in sizes]
+        loglog_values = [1.0 + 2.0 * math.log2(math.log2(n)) for n in sizes]
+        assert best_scaling_law(sizes, log_values).law == "log"
+        assert best_scaling_law(sizes, loglog_values).law == "loglog"
+
+    def test_compare_orders_by_residual(self):
+        sizes = [2**k for k in range(8, 14)]
+        values = [float(k) for k in range(8, 14)]
+        fits = compare_scaling_laws(sizes, values)
+        residuals = [fit.residual_rms for fit in fits]
+        assert residuals == sorted(residuals)
+
+    def test_predict_round_trip(self):
+        fit = fit_scaling_law([256, 1024, 4096], [8.0, 10.0, 12.0], "log")
+        assert fit.predict(1024) == pytest.approx(10.0, abs=1e-6)
+
+    def test_unknown_law_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_scaling_law([1, 2], [1.0, 2.0], "exponential")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_scaling_law([1, 2, 3], [1.0], "log")
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_scaling_law([10], [1.0], "log")
+
+    def test_all_growth_laws_are_callable(self):
+        for law, transform in GROWTH_LAWS.items():
+            assert isinstance(transform(1024.0), float), law
+
+
+class TestStats:
+    def test_mean_std_median(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert mean(values) == 2.5
+        assert std(values) == pytest.approx(math.sqrt(1.25))
+        assert median(values) == 2.5
+        assert median([5.0, 1.0, 3.0]) == 3.0
+
+    def test_percentile_interpolation(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 10.0
+        assert percentile(values, 50) == 5.0
+        assert percentile([7.0], 90) == 7.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 150)
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_empty_sequences_rejected(self):
+        for function in (mean, std, median):
+            with pytest.raises(ConfigurationError):
+                function([])
+
+    def test_confidence_interval_contains_mean(self):
+        values = [10.0, 12.0, 9.0, 11.0, 13.0]
+        low, high = confidence_interval(values)
+        assert low < mean(values) < high
+
+    def test_confidence_interval_single_value(self):
+        assert confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_summary(self):
+        summary = Summary.of([2.0, 4.0, 6.0])
+        assert summary.mean == 4.0
+        assert summary.minimum == 2.0
+        assert summary.maximum == 6.0
+        assert summary.count == 3
+        with pytest.raises(ConfigurationError):
+            Summary.of([])

@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channels import Channel, ChannelSet
+
+
+class TestChannel:
+    def test_other_end(self):
+        channel = Channel(caller=1, callee=2)
+        assert channel.other_end(1) == 2
+        assert channel.other_end(2) == 1
+
+    def test_other_end_rejects_non_endpoint(self):
+        channel = Channel(caller=1, callee=2)
+        with pytest.raises(ValueError):
+            channel.other_end(3)
+
+    def test_channels_are_value_objects(self):
+        assert Channel(1, 2) == Channel(1, 2)
+        assert Channel(1, 2) != Channel(2, 1)
+
+
+class TestChannelSet:
+    def test_empty_set(self):
+        channels = ChannelSet()
+        assert len(channels) == 0
+        assert channels.outgoing(1) == []
+        assert channels.incoming(1) == []
+
+    def test_open_indexes_both_directions(self):
+        channels = ChannelSet()
+        channels.open(1, 2)
+        channels.open(1, 3)
+        channels.open(4, 1)
+        assert len(channels) == 3
+        assert [c.callee for c in channels.outgoing(1)] == [2, 3]
+        assert [c.caller for c in channels.incoming(1)] == [4]
+
+    def test_callers_and_callees_of(self):
+        channels = ChannelSet()
+        channels.open(1, 2)
+        channels.open(3, 2)
+        assert sorted(channels.callers_of(2)) == [1, 3]
+        assert channels.callees_of(1) == [2]
+        assert channels.callees_of(2) == []
+
+    def test_edges_lists_all_channels(self):
+        channels = ChannelSet()
+        channels.open(1, 2)
+        channels.open(2, 1)
+        assert channels.edges() == [(1, 2), (2, 1)]
+
+    def test_iteration_order_is_open_order(self):
+        channels = ChannelSet()
+        channels.open(5, 6)
+        channels.open(7, 8)
+        assert [(c.caller, c.callee) for c in channels] == [(5, 6), (7, 8)]
+
+    def test_parallel_channels_allowed(self):
+        channels = ChannelSet()
+        channels.open(1, 2)
+        channels.open(1, 2)
+        assert len(channels) == 2
+        assert len(channels.outgoing(1)) == 2

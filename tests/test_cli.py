@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.n == 1024
+        assert args.protocol == "algorithm1"
+        assert args.full_schedule is False
+
+    def test_simulate_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--protocol", "bogus"])
+
+    def test_experiment_arguments(self):
+        args = build_parser().parse_args(["experiment", "E1", "--full"])
+        assert args.experiment_id == "E1"
+        assert args.full is True
+
+
+class TestCommands:
+    def test_list_protocols(self, capsys):
+        assert main(["list-protocols"]) == 0
+        output = capsys.readouterr().out
+        assert "algorithm1" in output
+        assert "push-pull" in output
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "E12" in output
+
+    def test_simulate_small_run(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--n",
+                "128",
+                "--d",
+                "6",
+                "--protocol",
+                "push",
+                "--seeds",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "push" in output
+        assert "aggregate over 2 runs" in output
+
+    def test_simulate_with_loss_and_full_schedule(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--n",
+                "128",
+                "--d",
+                "6",
+                "--protocol",
+                "algorithm1",
+                "--seeds",
+                "1",
+                "--loss",
+                "0.1",
+                "--full-schedule",
+            ]
+        )
+        assert exit_code == 0
+        assert "algorithm1" in capsys.readouterr().out
+
+    def test_experiment_command_unknown_id(self):
+        with pytest.raises(Exception):
+            main(["experiment", "E99"])
+
+    def test_p2p_command(self, capsys):
+        exit_code = main(
+            [
+                "p2p",
+                "--peers",
+                "64",
+                "--d",
+                "6",
+                "--rule",
+                "algorithm1",
+                "--updates",
+                "1",
+                "--rounds",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "replication rate" in output
+        assert "replicas agree" in output
+
+    def test_p2p_command_with_churn_and_anti_entropy(self, capsys):
+        exit_code = main(
+            [
+                "p2p",
+                "--peers",
+                "64",
+                "--d",
+                "6",
+                "--rule",
+                "push",
+                "--updates",
+                "1",
+                "--rounds",
+                "2",
+                "--churn",
+                "0.02",
+                "--anti-entropy",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "divergence after repair" in output

@@ -1,0 +1,52 @@
+"""Additional CLI and overlay-repair coverage."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.core.rng import RandomSource
+from repro.experiments.results_io import load_table_json
+from repro.experiments.workloads import full_sizes
+from repro.p2p.overlay import Overlay
+
+
+class TestExperimentSave:
+    def test_experiment_save_csv_and_json(self, tmp_path, capsys):
+        json_target = tmp_path / "e5.json"
+        exit_code = main(
+            ["experiment", "E5", "--seed", "7", "--save", str(json_target)]
+        )
+        assert exit_code == 0
+        loaded = load_table_json(json_target)
+        assert loaded.rows
+        assert "saved results" in capsys.readouterr().out
+
+
+class TestWorkloadTiers:
+    def test_full_tier_extends_quick_tier(self):
+        tier = full_sizes()
+        assert tier.repetitions >= 3
+        assert tier.sizes == sorted(tier.sizes)
+        assert tier.sizes[-1] >= 8192
+
+
+class TestOverlayRepair:
+    def test_repair_after_heavy_departures(self):
+        overlay = Overlay(n=128, degree=8, rng=RandomSource(seed=9))
+        for _ in range(20):
+            overlay.leave()
+        deficit = overlay.degree_deficit()
+        added = overlay.repair()
+        assert overlay.degree_deficit() <= deficit
+        if deficit > 0:
+            assert added >= 0
+        # The overlay stays simple after repair.
+        assert overlay.graph.is_simple()
+
+    def test_random_swaps_after_churn_keep_graph_simple(self):
+        overlay = Overlay(n=96, degree=6, rng=RandomSource(seed=10))
+        for _ in range(5):
+            overlay.leave()
+            overlay.join()
+        overlay.random_swaps(100)
+        assert overlay.graph.is_simple()
+        assert overlay.size == 96

@@ -1,0 +1,127 @@
+"""Unit tests for the configuration-model graph generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphGenerationError
+from repro.core.rng import RandomSource
+from repro.graphs.configuration_model import (
+    connected_random_regular_graph,
+    pairing_multigraph,
+    random_regular_graph,
+    repair_to_simple,
+    validate_regular_parameters,
+)
+from repro.graphs.properties import is_connected
+
+
+class TestValidation:
+    def test_odd_nd_rejected(self):
+        with pytest.raises(GraphGenerationError):
+            validate_regular_parameters(5, 3)
+
+    def test_degree_at_least_one(self):
+        with pytest.raises(GraphGenerationError):
+            validate_regular_parameters(10, 0)
+
+    def test_degree_below_n(self):
+        with pytest.raises(GraphGenerationError):
+            validate_regular_parameters(4, 4)
+
+    def test_minimum_nodes(self):
+        with pytest.raises(GraphGenerationError):
+            validate_regular_parameters(1, 1)
+
+    def test_valid_parameters_pass(self):
+        validate_regular_parameters(10, 3)
+        validate_regular_parameters(9, 4)
+
+
+class TestPairingMultigraph:
+    def test_every_node_has_degree_d(self, rng):
+        graph = pairing_multigraph(30, 4, rng)
+        assert all(degree == 4 for degree in graph.degrees().values())
+
+    def test_edge_count_matches(self, rng):
+        graph = pairing_multigraph(20, 6, rng)
+        assert graph.edge_count == 20 * 6 // 2
+
+    def test_deterministic_for_same_seed(self):
+        a = pairing_multigraph(16, 3, RandomSource(seed=9))
+        b = pairing_multigraph(16, 3, RandomSource(seed=9))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_parameters_raise(self, rng):
+        with pytest.raises(GraphGenerationError):
+            pairing_multigraph(5, 3, rng)
+
+
+class TestRepairToSimple:
+    def test_repairs_self_loop(self, rng):
+        edges = np.array([[0, 0], [1, 2], [3, 4], [5, 6]])
+        repaired = repair_to_simple(edges, rng)
+        assert all(u != v for u, v in repaired)
+
+    def test_repairs_duplicate_edge(self, rng):
+        edges = np.array([[0, 1], [0, 1], [2, 3], [4, 5]])
+        repaired = repair_to_simple(edges, rng)
+        keys = {tuple(sorted(edge)) for edge in repaired.tolist()}
+        assert len(keys) == len(repaired)
+
+    def test_preserves_degree_sequence(self, rng):
+        edges = np.array([[0, 0], [0, 1], [1, 2], [2, 3], [3, 4], [4, 5]])
+        before = np.bincount(edges.flatten(), minlength=6)
+        repaired = repair_to_simple(edges, rng)
+        after = np.bincount(repaired.flatten(), minlength=6)
+        assert np.array_equal(before, after)
+
+    def test_already_simple_is_unchanged(self, rng):
+        edges = np.array([[0, 1], [2, 3]])
+        repaired = repair_to_simple(edges, rng)
+        assert np.array_equal(repaired, edges)
+
+
+class TestRandomRegularGraph:
+    @pytest.mark.parametrize("strategy", ["rejection", "repair", "networkx", "auto"])
+    def test_all_strategies_produce_simple_regular_graphs(self, strategy):
+        rng = RandomSource(seed=5)
+        d = 3 if strategy == "rejection" else 6
+        graph = random_regular_graph(60, d, rng, strategy=strategy)
+        assert graph.is_simple()
+        assert all(degree == d for degree in graph.degrees().values())
+
+    def test_non_simple_mode_allows_multigraph(self):
+        rng = RandomSource(seed=5)
+        graph = random_regular_graph(40, 8, rng, simple=False)
+        assert all(degree == 8 for degree in graph.degrees().values())
+
+    def test_unknown_strategy_rejected(self, rng):
+        with pytest.raises(GraphGenerationError):
+            random_regular_graph(20, 4, rng, strategy="quantum")
+
+    def test_rejection_gives_up_for_large_degree(self, rng):
+        with pytest.raises(GraphGenerationError):
+            random_regular_graph(64, 16, rng, strategy="rejection", max_attempts=2)
+
+    def test_different_seeds_give_different_graphs(self):
+        a = random_regular_graph(64, 4, RandomSource(seed=1))
+        b = random_regular_graph(64, 4, RandomSource(seed=2))
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_same_seed_reproducible(self):
+        a = random_regular_graph(64, 6, RandomSource(seed=77))
+        b = random_regular_graph(64, 6, RandomSource(seed=77))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestConnectedRandomRegularGraph:
+    def test_result_is_connected(self):
+        graph = connected_random_regular_graph(128, 4, RandomSource(seed=4))
+        assert is_connected(graph)
+
+    def test_result_is_regular_and_simple(self):
+        graph = connected_random_regular_graph(100, 6, RandomSource(seed=4))
+        assert graph.is_simple()
+        assert all(degree == 6 for degree in graph.degrees().values())

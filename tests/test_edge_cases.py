@@ -1,0 +1,113 @@
+"""Edge-case tests: unusual graphs, extreme parameters, experiment options.
+
+These cover behaviours a downstream user will eventually hit — fanout larger
+than the degree, multigraphs from the raw pairing model, disconnected
+networks, single-source corner cases — plus the parameter overrides of the
+experiment modules that the default quick/full tiers do not exercise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.engine import run_broadcast
+from repro.core.rng import RandomSource
+from repro.experiments.exp_counterexample import run_experiment as run_counterexample
+from repro.experiments.exp_round_complexity import run_experiment as run_rounds
+from repro.experiments.workloads import SweepSizes
+from repro.graphs.base import Graph
+from repro.graphs.configuration_model import pairing_multigraph, random_regular_graph
+from repro.graphs.families import complete_graph
+from repro.protocols.algorithm1 import Algorithm1
+from repro.protocols.push import PushProtocol
+from repro.protocols.push_pull import PushPullProtocol
+
+
+class TestUnusualGraphs:
+    def test_fanout_larger_than_degree_calls_all_neighbours(self):
+        # Algorithm 1 wants 4 distinct neighbours but the graph only has 3.
+        graph = random_regular_graph(32, 3, RandomSource(seed=3))
+        result = run_broadcast(graph, Algorithm1(n_estimate=32), seed=3)
+        assert result.success
+        # No round can open more than degree channels per node.
+        for record in result.history:
+            assert record.channels_opened <= 3 * 32
+
+    def test_broadcast_on_raw_pairing_multigraph(self):
+        # Self-loops and parallel edges from the configuration model must not
+        # break the engine (self-loop calls are simply wasted channels).
+        graph = pairing_multigraph(128, 6, RandomSource(seed=9))
+        result = run_broadcast(graph, PushPullProtocol(n_estimate=128), seed=9)
+        assert result.final_informed >= 0.9 * 128
+
+    def test_two_node_graph(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        result = run_broadcast(graph, Algorithm1(n_estimate=2), seed=1)
+        assert result.success
+        assert result.rounds_to_completion == 1
+
+    def test_disconnected_graph_never_completes(self):
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        result = run_broadcast(graph, PushPullProtocol(n_estimate=6), seed=2)
+        assert not result.success
+        assert result.final_informed == 3
+
+    def test_star_graph_completes_with_pull_help(self):
+        star = Graph.from_edges(9, [(0, i) for i in range(1, 9)])
+        result = run_broadcast(star, PushPullProtocol(n_estimate=9), source=0, seed=4)
+        assert result.success
+
+    def test_source_at_highest_index(self):
+        graph = complete_graph(16)
+        result = run_broadcast(graph, PushProtocol(n_estimate=16), source=15, seed=5)
+        assert result.success
+        assert result.source == 15
+
+
+class TestConfigurationInteractions:
+    def test_full_schedule_with_loss_still_counts_lost_messages(self):
+        graph = random_regular_graph(64, 6, RandomSource(seed=6))
+        config = SimulationConfig(
+            stop_when_informed=False, message_loss_probability=0.5
+        )
+        result = run_broadcast(graph, PushProtocol(n_estimate=64), seed=6, config=config)
+        assert result.total_lost_transmissions > 0
+        assert result.total_lost_transmissions < result.total_transmissions
+
+    def test_max_rounds_shorter_than_horizon_wins(self):
+        graph = random_regular_graph(64, 6, RandomSource(seed=7))
+        protocol = Algorithm1(n_estimate=64)
+        config = SimulationConfig(max_rounds=3, stop_when_informed=False)
+        result = run_broadcast(graph, protocol, seed=7, config=config)
+        assert result.rounds_executed == 3 < protocol.horizon()
+
+    def test_history_phases_cover_all_executed_rounds(self):
+        graph = random_regular_graph(64, 6, RandomSource(seed=8))
+        config = SimulationConfig(stop_when_informed=False)
+        result = run_broadcast(graph, Algorithm1(n_estimate=64), seed=8, config=config)
+        assert len(result.history) == result.rounds_executed
+        assert all(record.phase.startswith("phase") for record in result.history)
+
+
+class TestExperimentOptions:
+    def test_round_complexity_with_custom_degree_and_sizes(self):
+        table = run_rounds(
+            quick=True,
+            degree=6,
+            sizes=SweepSizes(sizes=[128], repetitions=2),
+        )
+        assert len(table.rows) == 3
+        assert all(row["n"] == 128 for row in table.rows)
+        assert "d = 6" in table.title
+
+    def test_counterexample_structure(self):
+        table = run_counterexample(quick=True, base_nodes=64, degree=6, clique_size=3)
+        assert len(table.rows) == 4
+        assert {row["topology"] for row in table.rows} == {
+            "random-regular",
+            "product-K5",
+        }
+        assert all(row["success_rate"] == 1.0 for row in table.rows)
+        one_call_rows = [r for r in table.rows if r["protocol"] == "push-pull-1"]
+        assert all(row["speedup_vs_one_call"] == pytest.approx(1.0) for row in one_call_rows)

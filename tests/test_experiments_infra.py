@@ -1,0 +1,152 @@
+"""Unit tests for the experiment infrastructure (tables, runner, workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.errors import ExperimentError
+from repro.experiments.runner import ExperimentRunner, repeat_broadcast
+from repro.experiments.tables import Table
+from repro.experiments.workloads import (
+    DEFAULT_DEGREE,
+    LARGE_DEGREE,
+    SweepSizes,
+    full_sizes,
+    quick_sizes,
+)
+from repro.failures.churn import UniformChurn
+from repro.graphs.configuration_model import random_regular_graph
+from repro.protocols.push import PushProtocol
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a="x")
+        output = table.render()
+        assert "T" in output
+        assert "2.500" in output
+        assert output.count("\n") >= 4
+
+    def test_unknown_column_rejected(self):
+        table = Table(title="T", columns=["a"])
+        with pytest.raises(ExperimentError):
+            table.add_row(a=1, z=2)
+
+    def test_column_accessor(self):
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row(a=1, b=2)
+        table.add_row(a=3)
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2, None]
+        with pytest.raises(ExperimentError):
+            table.column("missing")
+
+    def test_notes_and_records(self):
+        table = Table(title="T", columns=["a"])
+        table.add_row(a=True)
+        table.add_note("hello")
+        assert "hello" in table.render()
+        assert "yes" in table.render()
+        assert table.to_records() == [{"a": True}]
+
+    def test_empty_table_renders(self):
+        table = Table(title="Empty", columns=["only"])
+        assert "only" in table.render()
+
+
+class TestWorkloads:
+    def test_quick_and_full_sizes(self):
+        quick = quick_sizes()
+        full = full_sizes()
+        assert max(quick.sizes) < max(full.sizes)
+        assert quick.repetitions >= 1
+
+    def test_sweep_validation(self):
+        with pytest.raises(ValueError):
+            SweepSizes(sizes=[])
+        with pytest.raises(ValueError):
+            SweepSizes(sizes=[10], repetitions=0)
+
+    def test_degree_constants(self):
+        assert DEFAULT_DEGREE < LARGE_DEGREE
+
+
+class TestRepeatBroadcast:
+    def test_one_result_per_seed(self, small_regular_graph):
+        results = repeat_broadcast(
+            graph=small_regular_graph,
+            protocol_factory=lambda n: PushProtocol(n_estimate=n),
+            n_estimate=64,
+            seeds=[1, 2, 3],
+        )
+        assert len(results) == 3
+        assert all(result.n == 64 for result in results)
+
+    def test_churn_runs_do_not_mutate_the_shared_graph(self, medium_regular_graph):
+        edge_count = medium_regular_graph.edge_count
+        repeat_broadcast(
+            graph=medium_regular_graph,
+            protocol_factory=lambda n: PushProtocol(n_estimate=n),
+            n_estimate=256,
+            seeds=[1],
+            churn_factory=lambda: UniformChurn(
+                leave_rate=0.05, join_rate=0.05, target_degree=8
+            ),
+        )
+        assert medium_regular_graph.edge_count == edge_count
+
+    def test_config_is_honoured(self, small_regular_graph):
+        results = repeat_broadcast(
+            graph=small_regular_graph,
+            protocol_factory=lambda n: PushProtocol(n_estimate=n),
+            n_estimate=64,
+            seeds=[5],
+            config=SimulationConfig(max_rounds=1),
+        )
+        assert results[0].rounds_executed == 1
+
+
+class TestExperimentRunner:
+    def test_graph_cache_returns_same_object(self):
+        runner = ExperimentRunner(master_seed=1, repetitions=2)
+        assert runner.regular_graph(64, 4) is runner.regular_graph(64, 4)
+        assert runner.regular_graph(64, 4) is not runner.regular_graph(64, 4, instance=1)
+
+    def test_graphs_are_regular_and_connected(self):
+        runner = ExperimentRunner(master_seed=1)
+        graph = runner.regular_graph(64, 6)
+        assert all(degree == 6 for degree in graph.degrees().values())
+
+    def test_run_seeds_are_deterministic_and_distinct(self):
+        runner = ExperimentRunner(master_seed=1, repetitions=4)
+        seeds_a = runner.run_seeds("label")
+        seeds_b = runner.run_seeds("label")
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a)) == 4
+        assert runner.run_seeds("other") != seeds_a
+
+    def test_broadcast_and_aggregate(self):
+        runner = ExperimentRunner(master_seed=1, repetitions=2)
+        aggregate = runner.broadcast_aggregate(
+            64, 4, lambda n: PushProtocol(n_estimate=n), label="t"
+        )
+        assert aggregate.runs == 2
+        assert aggregate.n == 64
+
+    def test_repetitions_override(self):
+        runner = ExperimentRunner(master_seed=1, repetitions=2)
+        results = runner.broadcast(
+            64, 4, lambda n: PushProtocol(n_estimate=n), label="t", repetitions=5
+        )
+        assert len(results) == 5
+
+    def test_reproducible_across_runner_instances(self):
+        first = ExperimentRunner(master_seed=99, repetitions=2)
+        second = ExperimentRunner(master_seed=99, repetitions=2)
+        a = first.broadcast_aggregate(64, 4, lambda n: PushProtocol(n_estimate=n), label="x")
+        b = second.broadcast_aggregate(64, 4, lambda n: PushProtocol(n_estimate=n), label="x")
+        assert a.rounds.mean == b.rounds.mean
+        assert a.transmissions.mean == b.transmissions.mean

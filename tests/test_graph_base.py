@@ -1,0 +1,140 @@
+"""Unit tests for repro.graphs.base.Graph."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.base import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.node_count == 0
+        assert graph.edge_count == 0
+        assert graph.nodes() == []
+
+    def test_from_edges(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert graph.node_count == 3
+        assert graph.edge_count == 2
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+
+    def test_from_networkx_relabels(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edges_from([("a", "b"), ("b", "c")])
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.node_count == 3
+        assert graph.edge_count == 2
+        assert graph.nodes() == [0, 1, 2]
+
+    def test_add_edge_requires_existing_nodes(self):
+        graph = Graph(range(2))
+        with pytest.raises(KeyError):
+            graph.add_edge(0, 5)
+
+
+class TestMutation:
+    def test_add_and_remove_edge(self):
+        graph = Graph(range(3))
+        graph.add_edge(0, 1)
+        assert graph.edge_count == 1
+        graph.remove_edge(0, 1)
+        assert graph.edge_count == 0
+        assert not graph.has_edge(0, 1)
+
+    def test_parallel_edges_tracked_with_multiplicity(self):
+        graph = Graph(range(2))
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        assert graph.edge_count == 2
+        assert graph.degree(0) == 2
+        assert graph.has_parallel_edges()
+        assert not graph.is_simple()
+        assert graph.edges().count((0, 1)) == 2
+
+    def test_self_loop(self):
+        graph = Graph(range(2))
+        graph.add_edge(1, 1)
+        assert graph.has_self_loop()
+        assert not graph.is_simple()
+        # A self-loop consumes two stubs, so it contributes two to the degree.
+        assert graph.degree(1) == 2
+        assert (1, 1) in graph.edges()
+        assert graph.edge_count == 1
+
+    def test_remove_node_cleans_incident_edges(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        graph.remove_node(0)
+        assert 0 not in graph
+        assert graph.edge_count == 2
+        assert graph.degree(1) == 1
+        assert graph.degree(3) == 1
+
+    def test_remove_node_with_parallel_edges(self):
+        graph = Graph(range(3))
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.remove_node(0)
+        assert graph.edge_count == 1
+        assert graph.degree(1) == 1
+
+    def test_add_node_idempotent(self):
+        graph = Graph(range(2))
+        graph.add_node(1)
+        graph.add_node(7)
+        assert graph.node_count == 3
+
+
+class TestQueries:
+    def test_degrees_and_regularity(self):
+        triangle = Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert triangle.degrees() == {0: 2, 1: 2, 2: 2}
+        assert triangle.is_regular()
+        path = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert not path.is_regular()
+
+    def test_neighbors_with_multiplicity(self):
+        graph = Graph(range(3))
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert sorted(graph.neighbors(0)) == [1, 1, 2]
+
+    def test_edges_undirected_deduplication(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_contains_and_len(self):
+        graph = Graph(range(4))
+        assert 3 in graph
+        assert 4 not in graph
+        assert len(graph) == 4
+
+    def test_is_regular_on_empty_graph(self):
+        assert Graph().is_regular()
+
+
+class TestConversionsAndCopy:
+    def test_to_networkx_roundtrip_edge_count(self):
+        graph = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 5
+        assert nx_graph.number_of_edges() == 4
+
+    def test_to_networkx_multigraph_preserves_multiplicity(self):
+        graph = Graph(range(2))
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        assert graph.to_networkx_multigraph().number_of_edges() == 2
+
+    def test_copy_is_independent(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.edge_count == 1
+        assert clone.edge_count == 2
+        assert graph.neighbors(1) == [0]

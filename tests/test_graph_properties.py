@@ -1,0 +1,115 @@
+"""Unit tests for repro.graphs.properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.rng import RandomSource
+from repro.graphs.base import Graph
+from repro.graphs.configuration_model import random_regular_graph
+from repro.graphs.families import complete_graph, ring_graph
+from repro.graphs.properties import (
+    average_shortest_path_length,
+    connected_components,
+    degree_histogram,
+    diameter,
+    edge_boundary_size,
+    edges_within,
+    expander_mixing_bound,
+    is_connected,
+    profile_graph,
+    second_largest_adjacency_eigenvalue,
+)
+
+
+class TestConnectivity:
+    def test_connected_graph(self):
+        assert is_connected(ring_graph(6))
+
+    def test_disconnected_graph(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert not is_connected(graph)
+        components = connected_components(graph)
+        assert sorted(map(sorted, components)) == [[0, 1], [2, 3]]
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph())
+
+
+class TestDistances:
+    def test_ring_diameter(self):
+        assert diameter(ring_graph(8)) == 4
+
+    def test_complete_graph_average_distance(self):
+        assert average_shortest_path_length(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_random_regular_diameter_is_logarithmic(self):
+        graph = random_regular_graph(128, 4, RandomSource(seed=2))
+        if is_connected(graph):
+            assert diameter(graph) <= 4 * math.log2(128)
+
+
+class TestCutsAndHistograms:
+    def test_degree_histogram(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert degree_histogram(graph) == {1: 2, 2: 2}
+
+    def test_edge_boundary_of_half_ring(self):
+        ring = ring_graph(8)
+        assert edge_boundary_size(ring, {0, 1, 2, 3}) == 2
+
+    def test_edges_within(self):
+        ring = ring_graph(8)
+        assert edges_within(ring, {0, 1, 2, 3}) == 3
+
+    def test_edges_within_with_self_loop(self):
+        graph = Graph(range(2))
+        graph.add_edge(0, 0)
+        graph.add_edge(0, 1)
+        assert edges_within(graph, {0}) == 1
+
+    def test_boundary_ignores_missing_nodes(self):
+        ring = ring_graph(5)
+        assert edge_boundary_size(ring, {0, 99}) == 2
+
+
+class TestSpectra:
+    def test_complete_graph_second_eigenvalue(self):
+        # K_n has eigenvalues n-1 (once) and -1 (n-1 times).
+        assert second_largest_adjacency_eigenvalue(complete_graph(6)) == pytest.approx(
+            -1.0, abs=1e-8
+        )
+
+    def test_random_regular_respects_friedman_bound(self):
+        graph = random_regular_graph(100, 6, RandomSource(seed=3))
+        lam = second_largest_adjacency_eigenvalue(graph)
+        assert lam <= 1.2 * 2 * math.sqrt(5)
+
+    def test_expander_mixing_bound_properties(self):
+        # With d = 16 and lam = 2*sqrt(15) the bound at a half split is
+        # non-trivial: d/4 > lam/2.
+        bound = expander_mixing_bound(d=16, n=1000, set_size=500, lam=2 * math.sqrt(15))
+        assert 0 < bound < 16 * 500
+        # A huge eigenvalue gives a vacuous (zero) bound, never negative.
+        assert expander_mixing_bound(d=8, n=100, set_size=50, lam=1000) == 0.0
+
+
+class TestProfile:
+    def test_profile_of_regular_graph(self):
+        graph = random_regular_graph(64, 4, RandomSource(seed=6))
+        profile = profile_graph(graph)
+        assert profile.node_count == 64
+        assert profile.is_regular
+        assert profile.is_simple
+        assert profile.min_degree == profile.max_degree == 4
+        if profile.is_connected:
+            assert profile.diameter is not None
+        assert profile.friedman_bound == pytest.approx(2 * math.sqrt(3))
+        assert profile.satisfies_friedman_bound(slack=1.3)
+
+    def test_profile_without_spectrum(self):
+        profile = profile_graph(ring_graph(10), compute_spectrum=False)
+        assert profile.second_eigenvalue is None
+        assert not profile.satisfies_friedman_bound()

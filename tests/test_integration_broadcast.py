@@ -1,0 +1,118 @@
+"""Integration tests: every protocol completes a broadcast on realistic graphs.
+
+These tests exercise the whole stack (graph generation → protocol → engine →
+metrics) at sizes where the paper's qualitative claims are already visible,
+and pin down the cross-protocol relationships the experiments rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.engine import run_broadcast
+from repro.core.metrics import aggregate_runs
+from repro.core.rng import RandomSource
+from repro.experiments.runner import repeat_broadcast
+from repro.graphs.configuration_model import connected_random_regular_graph
+from repro.protocols.registry import available_protocols, build_protocol
+from repro.protocols.algorithm1 import Algorithm1
+from repro.protocols.push import PushProtocol
+
+
+@pytest.fixture(scope="module")
+def broadcast_graph():
+    """One 512-node, 8-regular graph shared by the module's tests."""
+    return connected_random_regular_graph(512, 8, RandomSource(seed=321))
+
+
+class TestAllProtocolsComplete:
+    @pytest.mark.parametrize("protocol_name", available_protocols())
+    def test_protocol_informs_every_node(self, broadcast_graph, protocol_name):
+        results = repeat_broadcast(
+            graph=broadcast_graph,
+            protocol_factory=lambda n: build_protocol(protocol_name, n),
+            n_estimate=512,
+            seeds=[101, 202],
+        )
+        assert all(result.success for result in results), protocol_name
+        assert all(result.final_informed == 512 for result in results)
+
+    @pytest.mark.parametrize("protocol_name", ["algorithm1", "algorithm2", "push", "push-pull"])
+    def test_rounds_are_logarithmic(self, broadcast_graph, protocol_name):
+        results = repeat_broadcast(
+            graph=broadcast_graph,
+            protocol_factory=lambda n: build_protocol(protocol_name, n),
+            n_estimate=512,
+            seeds=[7, 8, 9],
+        )
+        aggregate = aggregate_runs(results)
+        assert aggregate.rounds.mean <= 4 * math.log2(512)
+
+
+class TestPaperShapeClaims:
+    def test_algorithm1_beats_push_on_rounds(self, broadcast_graph):
+        seeds = [11, 12, 13]
+        algorithm1 = aggregate_runs(
+            repeat_broadcast(
+                broadcast_graph,
+                lambda n: Algorithm1(n_estimate=n),
+                n_estimate=512,
+                seeds=seeds,
+            )
+        )
+        push = aggregate_runs(
+            repeat_broadcast(
+                broadcast_graph,
+                lambda n: PushProtocol(n_estimate=n),
+                n_estimate=512,
+                seeds=seeds,
+            )
+        )
+        assert algorithm1.rounds.mean < push.rounds.mean
+
+    def test_phase1_transmissions_are_linear_in_n(self, broadcast_graph):
+        # Each node pushes at most once (over 4 channels) during Phase 1, so
+        # Phase-1 transmissions are at most 4n.
+        result = run_broadcast(
+            broadcast_graph,
+            Algorithm1(n_estimate=512),
+            seed=77,
+            config=SimulationConfig(stop_when_informed=False),
+        )
+        assert result.transmissions_by_phase()["phase1"] <= 4 * 512
+
+    def test_algorithm1_full_schedule_matches_loglog_budget(self, broadcast_graph):
+        # Full-schedule cost is bounded by the explicit-constant envelope
+        # fanout·n·(2 + ceil(alpha·loglog n)) plus the tiny phase-4 term.
+        result = run_broadcast(
+            broadcast_graph,
+            Algorithm1(n_estimate=512),
+            seed=78,
+            config=SimulationConfig(stop_when_informed=False),
+        )
+        loglog = math.log2(math.log2(512))
+        envelope = 4 * 512 * (2 + math.ceil(loglog)) + 4 * 512
+        assert result.total_transmissions <= envelope
+
+    def test_lower_bound_holds_for_one_call_push_pull(self, broadcast_graph):
+        # Theorem 1 (with its tiny constant) is comfortably dominated by the
+        # measured cost of the best one-call protocol we have.
+        from repro.analysis.bounds import lower_bound_transmissions
+
+        results = repeat_broadcast(
+            broadcast_graph,
+            lambda n: build_protocol("push-pull", n),
+            n_estimate=512,
+            seeds=[21, 22],
+        )
+        bound = lower_bound_transmissions(512, 8, constant=1.0 / 16.0)
+        assert all(result.total_transmissions > bound for result in results)
+
+    def test_determinism_end_to_end(self, broadcast_graph):
+        a = run_broadcast(broadcast_graph, Algorithm1(n_estimate=512), seed=5)
+        b = run_broadcast(broadcast_graph, Algorithm1(n_estimate=512), seed=5)
+        assert a.total_transmissions == b.total_transmissions
+        assert a.informed_curve() == b.informed_curve()

@@ -1,0 +1,48 @@
+"""Unit tests for repro.core.message."""
+
+from __future__ import annotations
+
+from repro.core.message import Message, Payload
+
+
+class TestMessage:
+    def test_age_at_creation_round_is_zero(self):
+        message = Message(message_id=1, origin=0, created_round=5)
+        assert message.age(5) == 0
+
+    def test_age_grows_with_rounds(self):
+        message = Message(message_id=1, origin=0, created_round=2)
+        assert message.age(10) == 8
+
+    def test_messages_are_hashable_and_comparable(self):
+        a = Message(message_id=1, origin=0)
+        b = Message(message_id=2, origin=0)
+        assert a < b
+        assert len({a, b, a}) == 2
+
+    def test_default_size(self):
+        assert Message(message_id=1, origin=0).size == 1
+
+
+class TestPayload:
+    def test_empty_payload(self):
+        payload = Payload()
+        assert payload.is_empty()
+        assert payload.transmission_count == 0
+
+    def test_of_builds_from_iterable(self):
+        payload = Payload.of([1, 2, 2, 3])
+        assert payload.transmission_count == 3
+        assert not payload.is_empty()
+
+    def test_merged_with_unions_ids(self):
+        merged = Payload.of([1, 2]).merged_with(Payload.of([2, 3]))
+        assert merged.message_ids == frozenset({1, 2, 3})
+        assert merged.transmission_count == 3
+
+    def test_merge_does_not_mutate_operands(self):
+        left = Payload.of([1])
+        right = Payload.of([2])
+        left.merged_with(right)
+        assert left.message_ids == frozenset({1})
+        assert right.message_ids == frozenset({2})

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.node (NodeState and StateTable)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.node import NodeState, StateTable
+
+
+class TestNodeState:
+    def test_initially_uninformed(self):
+        state = NodeState(node_id=3)
+        assert not state.informed
+        assert state.informed_round is None
+        assert not state.active
+
+    def test_make_source_informs_at_round_zero(self):
+        state = NodeState(node_id=0)
+        state.make_source()
+        assert state.informed
+        assert state.informed_round == 0
+        assert state.newly_informed_in(0)
+
+    def test_deliver_then_commit(self):
+        state = NodeState(node_id=1)
+        assert state.deliver(4) is True
+        # Not informed until the round is committed.
+        assert not state.informed
+        assert state.commit_round() is True
+        assert state.informed
+        assert state.informed_round == 4
+        assert state.newly_informed_in(4)
+
+    def test_duplicate_delivery_in_same_round(self):
+        state = NodeState(node_id=1)
+        assert state.deliver(4) is True
+        assert state.deliver(4) is False
+        state.commit_round()
+        assert state.informed_round == 4
+
+    def test_deliver_to_informed_node_is_noop(self):
+        state = NodeState(node_id=1)
+        state.make_source()
+        assert state.deliver(3) is False
+        assert state.commit_round() is False
+        assert state.informed_round == 0
+
+    def test_commit_without_delivery_is_noop(self):
+        state = NodeState(node_id=1)
+        assert state.commit_round() is False
+        assert not state.informed
+
+    def test_newly_informed_in_other_round_false(self):
+        state = NodeState(node_id=1)
+        state.deliver(2)
+        state.commit_round()
+        assert not state.newly_informed_in(3)
+
+    def test_remember_partner_window(self):
+        state = NodeState(node_id=1)
+        for partner in range(10):
+            state.remember_partner(partner, window=3)
+        assert state.memory == [7, 8, 9]
+
+
+class TestStateTable:
+    def test_source_is_informed(self):
+        table = StateTable(n=5, source=2)
+        assert table[2].informed
+        assert table.informed_count == 1
+        assert table.uninformed_count == 4
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            StateTable(n=5, source=5)
+
+    def test_len_and_iteration(self):
+        table = StateTable(n=4, source=0)
+        assert len(table) == 4
+        assert sorted(s.node_id for s in table) == [0, 1, 2, 3]
+
+    def test_commit_round_promotes_and_counts(self):
+        table = StateTable(n=4, source=0)
+        table[1].deliver(1)
+        table[2].deliver(1)
+        newly = table.commit_round()
+        assert newly == {1, 2}
+        assert table.informed_count == 3
+
+    def test_all_informed(self):
+        table = StateTable(n=3, source=0)
+        assert not table.all_informed()
+        table[1].deliver(1)
+        table[2].deliver(1)
+        table.commit_round()
+        assert table.all_informed()
+
+    def test_informed_and_uninformed_ids(self):
+        table = StateTable(n=4, source=1)
+        assert table.informed_ids() == {1}
+        assert table.uninformed_ids() == {0, 2, 3}
+
+    def test_add_node(self):
+        table = StateTable(n=3, source=0)
+        state = table.add_node(99)
+        assert not state.informed
+        assert table.contains(99)
+        assert len(table) == 4
+        assert table.uninformed_count == 3
+
+    def test_add_existing_node_rejected(self):
+        table = StateTable(n=3, source=0)
+        with pytest.raises(ValueError):
+            table.add_node(1)
+
+    def test_remove_uninformed_node(self):
+        table = StateTable(n=3, source=0)
+        table.remove_node(2)
+        assert not table.contains(2)
+        assert table.informed_count == 1
+        assert len(table) == 2
+
+    def test_remove_informed_node_updates_count(self):
+        table = StateTable(n=3, source=0)
+        table.remove_node(0)
+        assert table.informed_count == 0
+
+    def test_node_ids_sorted(self):
+        table = StateTable(n=3, source=0)
+        table.add_node(10)
+        assert table.node_ids() == [0, 1, 2, 10]
+
+    def test_source_attribute(self):
+        table = StateTable(n=3, source=2)
+        assert table.source == 2

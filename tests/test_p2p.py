@@ -1,0 +1,232 @@
+"""Unit tests for the P2P layer: peers, overlay, gossip rules, replicated DB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+from repro.graphs.properties import is_connected
+from repro.p2p.gossip_rules import (
+    Algorithm1Rule,
+    Algorithm2Rule,
+    PushPullRule,
+    PushRule,
+    build_gossip_rule,
+)
+from repro.p2p.overlay import Overlay
+from repro.p2p.peer import Peer, Update
+from repro.p2p.replicated_db import ReplicatedDatabase, UpdateWorkload
+
+
+class TestUpdateAndPeer:
+    def test_update_identity_and_age(self):
+        update = Update(key="k", version=3, origin=7, created_round=5)
+        assert update.update_id == ("k", 3, 7)
+        assert update.age(9) == 4
+
+    def test_last_writer_wins(self):
+        old = Update(key="k", version=1, origin=2, created_round=0)
+        new = Update(key="k", version=2, origin=1, created_round=1)
+        tie_higher_origin = Update(key="k", version=1, origin=5, created_round=0)
+        assert new.supersedes(old)
+        assert not old.supersedes(new)
+        assert tie_higher_origin.supersedes(old)
+        assert old.supersedes(None)
+        other_key = Update(key="j", version=9, origin=9, created_round=0)
+        assert not other_key.supersedes(old)
+
+    def test_peer_apply_tracks_known_updates(self):
+        peer = Peer(peer_id=1)
+        update = Update(key="k", version=1, origin=0, created_round=0, value="a")
+        assert peer.apply(update) is True
+        assert peer.apply(update) is False
+        assert peer.knows(update)
+        assert peer.value_of("k") == "a"
+        assert peer.value_of("missing") is None
+
+    def test_peer_store_resolves_conflicts(self):
+        peer = Peer(peer_id=1)
+        peer.apply(Update(key="k", version=2, origin=0, created_round=0, value="new"))
+        peer.apply(Update(key="k", version=1, origin=0, created_round=0, value="old"))
+        assert peer.value_of("k") == "new"
+        assert len(peer.known_updates) == 2
+
+    def test_digest_summarises_store(self):
+        peer = Peer(peer_id=1)
+        peer.apply(Update(key="k", version=1, origin=0, created_round=0, value="x"))
+        assert peer.digest() == {"k": (1, 0, "x")}
+
+
+class TestOverlay:
+    def test_initial_overlay_is_regular(self):
+        overlay = Overlay(n=64, degree=6, rng=RandomSource(seed=1))
+        degrees = overlay.graph.degrees()
+        assert all(degree == 6 for degree in degrees.values())
+        assert overlay.size == 64
+
+    def test_join_adds_a_connected_peer_without_changing_others(self):
+        overlay = Overlay(n=64, degree=6, rng=RandomSource(seed=1))
+        before = overlay.graph.degrees()
+        joiner = overlay.join()
+        assert overlay.size == 65
+        assert overlay.graph.degree(joiner) >= 2
+        for node, degree in overlay.graph.degrees().items():
+            if node != joiner:
+                assert degree == before[node]
+
+    def test_leave_removes_peer_and_patches_neighbours(self):
+        overlay = Overlay(n=64, degree=6, rng=RandomSource(seed=2))
+        departed = overlay.leave()
+        assert overlay.size == 63
+        assert departed not in overlay.graph
+        # Degrees stay close to the target (re-pairing may skip a few).
+        assert overlay.degree_deficit() <= 6
+
+    def test_leave_refuses_to_empty_overlay(self):
+        # Keep removing peers: once the overlay shrinks to degree + 1 peers the
+        # next departure must be refused.
+        overlay = Overlay(n=12, degree=4, rng=RandomSource(seed=3))
+        with pytest.raises(ConfigurationError):
+            for _ in range(12):
+                overlay.leave()
+        assert overlay.size == overlay.degree + 1
+
+    def test_leave_unknown_peer_rejected(self):
+        overlay = Overlay(n=32, degree=4, rng=RandomSource(seed=3))
+        with pytest.raises(ConfigurationError):
+            overlay.leave(peer_id=9999)
+
+    def test_random_swaps_preserve_degrees_and_connectivity_mostly(self):
+        overlay = Overlay(n=64, degree=6, rng=RandomSource(seed=4))
+        before = overlay.graph.degrees()
+        performed = overlay.random_swaps(200)
+        assert performed > 0
+        assert overlay.graph.degrees() == before
+        assert overlay.graph.is_simple()
+        assert is_connected(overlay.graph)
+
+    def test_random_swaps_rejects_negative(self):
+        overlay = Overlay(n=32, degree=4, rng=RandomSource(seed=4))
+        with pytest.raises(ConfigurationError):
+            overlay.random_swaps(-1)
+
+    def test_repair_restores_degree_after_churn(self):
+        overlay = Overlay(n=64, degree=6, rng=RandomSource(seed=5))
+        for _ in range(5):
+            overlay.leave()
+        deficit_before = overlay.degree_deficit()
+        overlay.repair()
+        assert overlay.degree_deficit() <= deficit_before
+
+    def test_minimum_degree_enforced(self):
+        with pytest.raises(ConfigurationError):
+            Overlay(n=32, degree=2, rng=RandomSource(seed=6))
+
+
+class TestGossipRules:
+    def test_push_rule_age_cutoff(self):
+        rule = PushRule(n_estimate=256, horizon_factor=1.0)
+        assert rule.wants_push(1, 0)
+        assert rule.wants_push(rule.horizon(), 0)
+        assert not rule.wants_push(rule.horizon() + 1, 0)
+        assert not rule.wants_pull(1, 0)
+
+    def test_push_pull_rule_enables_both(self):
+        rule = PushPullRule(n_estimate=256)
+        assert rule.wants_push(2, 0) and rule.wants_pull(2, 0)
+
+    def test_algorithm1_rule_phase1_pushes_once(self):
+        rule = Algorithm1Rule(n_estimate=1024)
+        # The originator (received_age 0) pushes at age 1 only.
+        assert rule.wants_push(1, 0)
+        assert not rule.wants_push(2, 0)
+        # A peer that received the update at age 3 pushes at age 4.
+        assert rule.wants_push(4, 3)
+        assert not rule.wants_push(5, 3)
+
+    def test_algorithm1_rule_phase2_everyone_pushes(self):
+        rule = Algorithm1Rule(n_estimate=1024)
+        phase2_age = rule.schedule.phase1_end + 1
+        assert rule.wants_push(phase2_age, 0)
+
+    def test_algorithm1_rule_phase3_pull_and_phase4_active(self):
+        rule = Algorithm1Rule(n_estimate=1024)
+        pull_age = rule.schedule.phase2_end + 1
+        assert rule.wants_pull(pull_age, 0)
+        phase4_age = rule.schedule.phase3_end + 1
+        assert rule.wants_push(phase4_age, pull_age)
+        assert not rule.wants_push(phase4_age, 1)
+
+    def test_algorithm2_rule_pull_tail(self):
+        rule = Algorithm2Rule(n_estimate=1024)
+        pull_age = rule.schedule.phase2_end + 1
+        assert rule.wants_pull(pull_age, 0)
+        assert not rule.wants_push(pull_age, 0)
+
+    def test_rules_expire_after_horizon(self):
+        for rule in (PushRule(256), Algorithm1Rule(256)):
+            assert rule.active(rule.horizon())
+            assert not rule.active(rule.horizon() + 1)
+            assert not rule.active(-1)
+
+    def test_build_gossip_rule_factory(self):
+        assert isinstance(build_gossip_rule("push", 256), PushRule)
+        assert isinstance(build_gossip_rule("algorithm1", 256), Algorithm1Rule)
+        with pytest.raises(ConfigurationError):
+            build_gossip_rule("smoke-signals", 256)
+
+
+class TestReplicatedDatabase:
+    def _database(self, rule, seed=11, n=128, **kwargs):
+        rng = RandomSource(seed=seed)
+        overlay = Overlay(n=n, degree=6, rng=rng.spawn("overlay"))
+        return ReplicatedDatabase(overlay, rule, rng.spawn("db"), **kwargs)
+
+    def test_all_replicas_converge_without_churn(self):
+        database = self._database(Algorithm1Rule(n_estimate=128))
+        report = database.run(UpdateWorkload(updates_per_round=2, injection_rounds=3))
+        assert report.updates_created == 6
+        assert report.replication_rate == 1.0
+        assert database.replicas_agree()
+        assert report.mean_convergence_rounds > 0
+
+    def test_transmissions_and_payload_are_accounted(self):
+        database = self._database(PushRule(n_estimate=128))
+        report = database.run(UpdateWorkload(updates_per_round=1, injection_rounds=2))
+        assert report.total_transmissions > 0
+        assert report.total_payload_bytes >= 64 * report.total_transmissions / 2
+        assert report.total_channels_opened > 0
+        assert report.transmissions_per_update_per_peer > 0
+
+    def test_empty_workload_is_harmless(self):
+        database = self._database(PushRule(n_estimate=128))
+        report = database.run(UpdateWorkload(updates_per_round=0, injection_rounds=0))
+        assert report.updates_created == 0
+        assert report.replication_rate == 1.0
+        assert report.total_transmissions == 0
+
+    def test_churn_keeps_surviving_replicas_consistent_enough(self):
+        database = self._database(
+            Algorithm1Rule(n_estimate=128), join_rate=0.01, leave_rate=0.01
+        )
+        report = database.run(UpdateWorkload(updates_per_round=1, injection_rounds=4))
+        assert report.replication_rate >= 0.5
+        assert 0.0 <= report.final_divergence <= 1.0
+
+    def test_divergence_curve_tracks_rounds(self):
+        database = self._database(PushPullRule(n_estimate=128))
+        report = database.run(UpdateWorkload(updates_per_round=1, injection_rounds=1))
+        assert len(report.divergence_curve) == report.rounds_executed
+        assert report.divergence_curve[-1] == report.final_divergence
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._database(PushRule(n_estimate=128), join_rate=1.5)
+
+    def test_workload_validation(self):
+        with pytest.raises(ConfigurationError):
+            UpdateWorkload(updates_per_round=-1)
+        with pytest.raises(ConfigurationError):
+            UpdateWorkload(keys=0)
+        assert UpdateWorkload(updates_per_round=2, injection_rounds=3).total_updates == 6

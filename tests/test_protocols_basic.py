@@ -1,0 +1,125 @@
+"""Unit tests for the classical protocols (push, pull, push&pull, quasirandom)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.node import NodeState
+from repro.core.rng import RandomSource
+from repro.protocols.pull import PullProtocol
+from repro.protocols.push import PushProtocol
+from repro.protocols.push_pull import PushPullProtocol
+from repro.protocols.quasirandom import QuasirandomPushProtocol
+
+
+def informed_state(node_id: int = 0, informed_round: int = 0) -> NodeState:
+    state = NodeState(node_id=node_id)
+    state.informed = True
+    state.informed_round = informed_round
+    return state
+
+
+class TestPushProtocol:
+    def test_horizon_scales_with_log_n(self):
+        assert PushProtocol(1024).horizon() == math.ceil(4.0 * 10)
+        assert PushProtocol(1024, horizon_factor=2.0).horizon() == 20
+
+    def test_horizon_override(self):
+        assert PushProtocol(1024, horizon_override=7).horizon() == 7
+
+    def test_push_only_flags(self):
+        protocol = PushProtocol(256)
+        assert protocol.push_round(1) and not protocol.pull_round(1)
+
+    def test_only_informed_nodes_push(self):
+        protocol = PushProtocol(256)
+        assert protocol.wants_push(informed_state(), 3)
+        assert not protocol.wants_push(NodeState(node_id=1), 3)
+        assert not protocol.wants_pull(informed_state(), 3)
+
+    def test_fanout_naming(self):
+        assert PushProtocol(256).name == "push"
+        assert PushProtocol(256, fanout=4).name == "push-4"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PushProtocol(1)
+        with pytest.raises(ConfigurationError):
+            PushProtocol(256, fanout=0)
+        with pytest.raises(ConfigurationError):
+            PushProtocol(256, horizon_factor=0)
+
+    def test_describe_includes_parameters(self):
+        description = PushProtocol(256, fanout=2).describe()
+        assert description["fanout"] == 2
+        assert description["n_estimate"] == 256
+        assert description["horizon"] > 0
+
+
+class TestPullProtocol:
+    def test_pull_only_flags(self):
+        protocol = PullProtocol(256)
+        assert protocol.pull_round(1) and not protocol.push_round(1)
+
+    def test_only_informed_nodes_pull(self):
+        protocol = PullProtocol(256)
+        assert protocol.wants_pull(informed_state(), 2)
+        assert not protocol.wants_pull(NodeState(node_id=1), 2)
+        assert not protocol.wants_push(informed_state(), 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PullProtocol(256, fanout=-1)
+
+
+class TestPushPullProtocol:
+    def test_both_directions_enabled(self):
+        protocol = PushPullProtocol(256)
+        assert protocol.push_round(1) and protocol.pull_round(1)
+        state = informed_state()
+        assert protocol.wants_push(state, 1) and protocol.wants_pull(state, 1)
+
+    def test_horizon_includes_loglog_tail(self):
+        small = PushPullProtocol(256, extra_loglog_rounds=0.0)
+        large = PushPullProtocol(256, extra_loglog_rounds=8.0)
+        assert large.horizon() > small.horizon()
+
+    def test_fanout_naming(self):
+        assert PushPullProtocol(256, fanout=4).name == "push-pull-4"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PushPullProtocol(256, extra_loglog_rounds=-1.0)
+
+
+class TestQuasirandomPush:
+    def test_informed_nodes_walk_their_list_cyclically(self):
+        protocol = QuasirandomPushProtocol(64)
+        state = informed_state(node_id=5)
+        neighbours = [10, 11, 12]
+        rng = RandomSource(seed=0)
+        picks = [
+            protocol.select_call_targets(state, neighbours, t, rng)[0]
+            for t in range(1, 7)
+        ]
+        # After the random start, successive picks follow list order cyclically.
+        start = neighbours.index(picks[0])
+        expected = [neighbours[(start + i) % 3] for i in range(6)]
+        assert picks == expected
+
+    def test_uninformed_nodes_do_not_call(self):
+        protocol = QuasirandomPushProtocol(64)
+        state = NodeState(node_id=5)
+        assert protocol.fanout(state, 1) == 0
+        assert protocol.select_call_targets(state, [1, 2], 1, RandomSource(seed=0)) == []
+
+    def test_empty_neighbourhood(self):
+        protocol = QuasirandomPushProtocol(64)
+        assert protocol.select_call_targets(informed_state(), [], 1, RandomSource(seed=0)) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            QuasirandomPushProtocol(1)

@@ -1,0 +1,102 @@
+"""Tests for experiment-table persistence (JSON / CSV)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments.results_io import (
+    load_table_json,
+    save_table,
+    save_table_csv,
+    save_table_json,
+)
+from repro.experiments.tables import Table
+
+
+@pytest.fixture
+def sample_table() -> Table:
+    table = Table(title="Sample", columns=["n", "rounds", "ok"])
+    table.add_row(n=256, rounds=9.5, ok=True)
+    table.add_row(n=512, rounds=10.0, ok=False)
+    table.add_note("a note")
+    return table
+
+
+class TestJsonRoundTrip:
+    def test_save_and_load(self, sample_table, tmp_path):
+        path = save_table_json(sample_table, tmp_path / "table.json")
+        loaded = load_table_json(path)
+        assert loaded.title == sample_table.title
+        assert loaded.columns == sample_table.columns
+        assert loaded.to_records() == sample_table.to_records()
+        assert loaded.notes == sample_table.notes
+
+    def test_json_is_human_readable(self, sample_table, tmp_path):
+        path = save_table_json(sample_table, tmp_path / "table.json")
+        payload = json.loads(path.read_text())
+        assert payload["title"] == "Sample"
+        assert payload["rows"][0]["n"] == 256
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_table_json(tmp_path / "does-not-exist.json")
+
+    def test_load_invalid_payload(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"title": "x"}))
+        with pytest.raises(ExperimentError):
+            load_table_json(bad)
+        bad.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            load_table_json(bad)
+
+
+class TestCsv:
+    def test_save_csv_rows(self, sample_table, tmp_path):
+        path = save_table_csv(sample_table, tmp_path / "table.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["n"] == "256"
+        assert rows[1]["ok"] == "False"
+
+
+class TestDispatch:
+    def test_save_by_extension(self, sample_table, tmp_path):
+        json_path = save_table(sample_table, tmp_path / "t.json")
+        csv_path = save_table(sample_table, tmp_path / "t.csv")
+        assert json_path.exists() and csv_path.exists()
+
+    def test_unknown_extension_rejected(self, sample_table, tmp_path):
+        with pytest.raises(ExperimentError):
+            save_table(sample_table, tmp_path / "t.xlsx")
+
+
+class TestCliSave:
+    def test_simulate_save_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "run.json"
+        exit_code = main(
+            [
+                "simulate",
+                "--n",
+                "128",
+                "--d",
+                "6",
+                "--protocol",
+                "push",
+                "--seeds",
+                "1",
+                "--save",
+                str(target),
+            ]
+        )
+        assert exit_code == 0
+        assert target.exists()
+        loaded = load_table_json(target)
+        assert loaded.rows

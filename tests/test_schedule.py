@@ -1,0 +1,119 @@
+"""Unit tests for the phase schedules of Algorithms 1 and 2."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.protocols.schedule import (
+    PhaseSchedule,
+    algorithm1_schedule,
+    algorithm2_schedule,
+    log2_estimate,
+    loglog_estimate,
+)
+
+
+class TestLogHelpers:
+    def test_log2_estimate_guards_small_values(self):
+        assert log2_estimate(0) == 1.0
+        assert log2_estimate(1) == 1.0
+        assert log2_estimate(1024) == pytest.approx(10.0)
+
+    def test_loglog_estimate_is_at_least_one(self):
+        assert loglog_estimate(2) == 1.0
+        assert loglog_estimate(4) == 1.0
+        assert loglog_estimate(2**16) == pytest.approx(4.0)
+
+
+class TestPhaseSchedule:
+    def test_phase_of_each_round(self):
+        schedule = PhaseSchedule(phase1_end=3, phase2_end=5, phase3_end=6, phase4_end=9)
+        assert [schedule.phase_of(t) for t in range(1, 10)] == [1, 1, 1, 2, 2, 3, 4, 4, 4]
+
+    def test_labels(self):
+        schedule = PhaseSchedule(phase1_end=1, phase2_end=2, phase3_end=3, phase4_end=4)
+        assert schedule.label_of(1) == "phase1"
+        assert schedule.label_of(4) == "phase4"
+
+    def test_out_of_range_round_rejected(self):
+        schedule = PhaseSchedule(phase1_end=1, phase2_end=2, phase3_end=3, phase4_end=4)
+        with pytest.raises(ConfigurationError):
+            schedule.phase_of(0)
+        with pytest.raises(ConfigurationError):
+            schedule.phase_of(5)
+
+    def test_non_monotone_boundaries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(phase1_end=5, phase2_end=3, phase3_end=6, phase4_end=7)
+
+    def test_negative_boundaries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(phase1_end=-1, phase2_end=2, phase3_end=3, phase4_end=4)
+
+    def test_phase_lengths_sum_to_horizon(self):
+        schedule = PhaseSchedule(phase1_end=3, phase2_end=7, phase3_end=8, phase4_end=12)
+        lengths = schedule.phase_lengths()
+        assert sum(lengths.values()) == schedule.horizon == 12
+        assert lengths["phase3"] == 1
+
+    def test_zero_length_phase_is_never_matched(self):
+        schedule = PhaseSchedule(phase1_end=2, phase2_end=2, phase3_end=3, phase4_end=3)
+        phases = {schedule.phase_of(t) for t in range(1, 4)}
+        assert 2 not in phases
+        assert 4 not in phases
+
+
+class TestAlgorithm1Schedule:
+    def test_boundaries_follow_formula(self):
+        n, alpha = 1024, 1.0
+        schedule = algorithm1_schedule(n, alpha)
+        log_n, loglog_n = 10.0, math.log2(10.0)
+        assert schedule.phase1_end == math.ceil(alpha * log_n)
+        assert schedule.phase2_end == math.ceil(alpha * (log_n + loglog_n))
+        assert schedule.phase3_end == schedule.phase2_end + 1
+        assert schedule.phase4_end == 2 * math.ceil(alpha * log_n) + math.ceil(
+            alpha * loglog_n
+        )
+
+    def test_alpha_scales_phases(self):
+        small = algorithm1_schedule(4096, 1.0)
+        large = algorithm1_schedule(4096, 2.0)
+        assert large.phase1_end == 2 * small.phase1_end
+        assert large.horizon > small.horizon
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            algorithm1_schedule(1024, 0.0)
+
+    def test_phase3_is_single_round(self):
+        schedule = algorithm1_schedule(2048, 1.0)
+        assert schedule.phase3_end - schedule.phase2_end == 1
+
+    def test_tiny_estimates_still_give_valid_schedules(self):
+        schedule = algorithm1_schedule(2, 1.0)
+        assert schedule.horizon >= schedule.phase3_end >= 1
+
+
+class TestAlgorithm2Schedule:
+    def test_shares_phases_1_and_2_with_algorithm1(self):
+        a1 = algorithm1_schedule(4096, 1.5)
+        a2 = algorithm2_schedule(4096, 1.5)
+        assert a1.phase1_end == a2.phase1_end
+        assert a1.phase2_end == a2.phase2_end
+
+    def test_has_no_phase4(self):
+        schedule = algorithm2_schedule(4096, 1.0)
+        assert schedule.phase3_end == schedule.phase4_end
+        assert schedule.phase_lengths()["phase4"] == 0
+
+    def test_pull_phase_length_scales_with_loglog(self):
+        schedule = algorithm2_schedule(2**16, 2.0)
+        pull_rounds = schedule.phase3_end - schedule.phase2_end
+        assert pull_rounds >= math.floor(2.0 * math.log2(16)) - 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            algorithm2_schedule(1024, -1.0)

@@ -1,0 +1,120 @@
+"""Tests for the sparse spectral estimates and the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+from repro.analysis.ascii_plot import (
+    ascii_informed_curve,
+    ascii_multi_series,
+    ascii_series,
+)
+from repro.graphs.base import Graph
+from repro.graphs.configuration_model import random_regular_graph
+from repro.graphs.families import complete_graph, ring_graph
+from repro.graphs.properties import second_largest_adjacency_eigenvalue
+from repro.graphs.spectra import (
+    estimate_second_eigenvalue,
+    spectral_expansion_profile,
+)
+
+
+class TestSpectralEstimate:
+    def test_matches_dense_computation_on_random_regular_graph(self):
+        graph = random_regular_graph(300, 8, RandomSource(seed=4))
+        estimate = estimate_second_eigenvalue(graph, seed=1)
+        exact = second_largest_adjacency_eigenvalue(graph)
+        assert estimate.second_eigenvalue == pytest.approx(exact, rel=0.05)
+        assert estimate.second_eigenvalue <= 1.2 * estimate.friedman_bound
+
+    def test_complete_graph_second_eigenvalue_is_small(self):
+        # K_n has lambda_2 = -1, so the shifted estimate is ~0.
+        estimate = estimate_second_eigenvalue(complete_graph(40))
+        assert estimate.second_eigenvalue < 1.0
+
+    def test_ring_graph_is_a_poor_expander(self):
+        # The cycle's lambda_2 = 2*cos(2*pi/n) approaches the degree 2, i.e.
+        # relative_to_friedman approaches 1/sqrt(2)... well above a random
+        # regular graph of the same size and degree >= 3.
+        estimate = estimate_second_eigenvalue(ring_graph(64))
+        assert estimate.second_eigenvalue > 1.9
+
+    def test_rejects_irregular_or_tiny_graphs(self):
+        path = Graph.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(ConfigurationError):
+            estimate_second_eigenvalue(path)
+        with pytest.raises(ConfigurationError):
+            estimate_second_eigenvalue(Graph.from_edges(2, [(0, 1)]))
+
+    def test_expansion_profile_fields(self):
+        graph = random_regular_graph(200, 6, RandomSource(seed=5))
+        profile = spectral_expansion_profile(graph)
+        assert profile["set_size"] == 100
+        assert 0 <= profile["mixing_lower_bound"] <= profile["expected_cut"]
+        assert profile["relative_to_friedman"] < 1.3
+
+    def test_expansion_profile_invalid_set_size(self):
+        graph = random_regular_graph(64, 4, RandomSource(seed=6))
+        with pytest.raises(ConfigurationError):
+            spectral_expansion_profile(graph, set_size=0)
+        with pytest.raises(ConfigurationError):
+            spectral_expansion_profile(graph, set_size=64)
+
+
+class TestAsciiSeries:
+    def test_basic_rendering(self):
+        chart = ascii_series([1, 2, 4, 8, 16], title="growth")
+        assert "growth" in chart
+        assert "*" in chart
+        assert chart.count("\n") >= 10
+
+    def test_log_scale_and_constant_series(self):
+        chart = ascii_series([5, 5, 5], log_scale=True)
+        assert "*" in chart
+        # All markers land on the bottom row for a constant series.
+        marker_rows = [line for line in chart.splitlines() if "*" in line]
+        assert len(marker_rows) == 1
+
+    def test_long_series_is_resampled_to_width(self):
+        chart = ascii_series(list(range(1000)), width=40)
+        longest_line = max(len(line) for line in chart.splitlines())
+        assert longest_line <= 40 + 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_series([])
+        with pytest.raises(ConfigurationError):
+            ascii_series([1, 2], width=1)
+
+
+class TestInformedCurvePlot:
+    def test_contains_both_panels(self):
+        chart = ascii_informed_curve([1, 10, 100, 512, 512], n=512)
+        assert "informed nodes per round" in chart
+        assert "uninformed nodes per round" in chart
+        assert "o" in chart and "*" in chart
+
+    def test_rejects_out_of_range_counts(self):
+        with pytest.raises(ConfigurationError):
+            ascii_informed_curve([1, 600], n=512)
+        with pytest.raises(ConfigurationError):
+            ascii_informed_curve([], n=512)
+
+
+class TestMultiSeries:
+    def test_legend_lists_all_series(self):
+        chart = ascii_multi_series({"push": [1, 2, 3], "pull": [3, 2, 1]}, title="cmp")
+        assert "cmp" in chart
+        assert "push" in chart and "pull" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_multi_series({})
+        with pytest.raises(ConfigurationError):
+            ascii_multi_series({"empty": []})
+        too_many = {f"s{i}": [1, 2] for i in range(9)}
+        with pytest.raises(ConfigurationError):
+            ascii_multi_series(too_many)

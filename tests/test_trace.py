@@ -1,0 +1,49 @@
+"""Unit tests for repro.core.trace."""
+
+from __future__ import annotations
+
+from repro.core.trace import NullTracer, RecordingTracer
+
+
+class TestNullTracer:
+    def test_all_hooks_are_noops(self):
+        tracer = NullTracer()
+        tracer.on_round_start(1, 1)
+        tracer.on_channel_open(1, 0, 1)
+        tracer.on_transmission(1, 0, 1, "push", False)
+        tracer.on_node_informed(1, 1)
+        tracer.on_round_end(1, 2)
+
+
+class TestRecordingTracer:
+    def test_records_all_event_kinds(self):
+        tracer = RecordingTracer()
+        tracer.on_round_start(1, 1)
+        tracer.on_channel_open(1, 0, 1)
+        tracer.on_transmission(1, 0, 1, "push", lost=False)
+        tracer.on_transmission(1, 1, 0, "pull", lost=True)
+        tracer.on_node_informed(1, 1)
+        tracer.on_round_end(1, 2)
+        kinds = [event.kind for event in tracer.events]
+        assert kinds == [
+            "round_start",
+            "channel",
+            "transmission",
+            "transmission",
+            "informed",
+            "round_end",
+        ]
+
+    def test_lost_transmissions_are_annotated(self):
+        tracer = RecordingTracer()
+        tracer.on_transmission(1, 0, 1, "pull", lost=True)
+        assert tracer.events[0].detail == "pull:lost"
+
+    def test_events_of_kind_filters(self):
+        tracer = RecordingTracer()
+        tracer.on_round_start(1, 1)
+        tracer.on_round_end(1, 1)
+        tracer.on_round_start(2, 1)
+        assert len(tracer.events_of_kind("round_start")) == 2
+        assert len(tracer.events_of_kind("round_end")) == 1
+        assert tracer.events_of_kind("informed") == []
