@@ -1,17 +1,25 @@
 """Micro-benchmarks of the substrates (not tied to a paper table).
 
-These measure the two hot paths of the library — configuration-model graph
-generation and a full Algorithm 1 broadcast — so performance regressions in
-the simulator itself are visible separately from the experiment tables.
+These measure the hot paths of the library — configuration-model graph
+generation and full broadcasts on both round engines — so performance
+regressions in the simulator itself are visible separately from the
+experiment tables.  The broadcast benchmarks are parametrized over the
+``engine`` knob; comparing the ``scalar`` and ``vectorized`` rows of one run
+gives the current speedup (see ``BENCH_micro.json`` for recorded baselines).
 """
 
 from __future__ import annotations
 
+import pytest
+
+from repro.core.config import SimulationConfig
 from repro.core.engine import run_broadcast
 from repro.core.rng import RandomSource
 from repro.graphs.configuration_model import random_regular_graph
 from repro.protocols.algorithm1 import Algorithm1
 from repro.protocols.push import PushProtocol
+
+ENGINES = ["scalar", "vectorized"]
 
 
 def test_generate_regular_graph_4096(benchmark):
@@ -21,13 +29,23 @@ def test_generate_regular_graph_4096(benchmark):
     assert result.node_count == 4096
 
 
-def test_algorithm1_broadcast_4096(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_algorithm1_broadcast_4096(benchmark, engine):
     graph = random_regular_graph(4096, 8, RandomSource(seed=2), strategy="repair")
-    result = benchmark(lambda: run_broadcast(graph, Algorithm1(n_estimate=4096), seed=3))
+    config = SimulationConfig(engine=engine)
+    result = benchmark(
+        lambda: run_broadcast(graph, Algorithm1(n_estimate=4096), seed=3, config=config)
+    )
     assert result.success
+    assert result.metadata["engine"] == engine
 
 
-def test_push_broadcast_4096(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_push_broadcast_4096(benchmark, engine):
     graph = random_regular_graph(4096, 8, RandomSource(seed=2), strategy="repair")
-    result = benchmark(lambda: run_broadcast(graph, PushProtocol(n_estimate=4096), seed=3))
+    config = SimulationConfig(engine=engine)
+    result = benchmark(
+        lambda: run_broadcast(graph, PushProtocol(n_estimate=4096), seed=3, config=config)
+    )
     assert result.success
+    assert result.metadata["engine"] == engine

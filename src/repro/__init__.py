@@ -34,8 +34,11 @@ from .core import (
     SimulationConfig,
     SimulationError,
     StateTable,
+    VectorState,
+    VectorizedRoundEngine,
     aggregate_runs,
     run_broadcast,
+    vectorization_unsupported_reason,
 )
 from .failures import (
     EstimateError,
@@ -74,6 +77,8 @@ __all__ = [
     "RandomSource",
     "SimulationConfig",
     "RoundEngine",
+    "VectorizedRoundEngine",
+    "vectorization_unsupported_reason",
     "run_broadcast",
     "RunResult",
     "RoundRecord",
@@ -81,6 +86,7 @@ __all__ = [
     "aggregate_runs",
     "NodeState",
     "StateTable",
+    "VectorState",
     "ReproError",
     "ConfigurationError",
     "GraphGenerationError",

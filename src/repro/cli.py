@@ -64,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the protocol's full schedule instead of stopping at completion",
     )
     simulate.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "scalar", "vectorized"],
+        help=(
+            "round engine: 'auto' picks the bulk NumPy engine when the "
+            "protocol supports it, 'scalar'/'vectorized' force one path"
+        ),
+    )
+    simulate.add_argument(
         "--save", default=None, help="write the results table to a .json or .csv file"
     )
 
@@ -116,6 +125,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
     config = SimulationConfig(
         message_loss_probability=args.loss,
         stop_when_informed=not args.full_schedule,
+        engine=args.engine,
     )
     seeds = [derive_seed(args.seed, "cli-run", i) for i in range(args.seeds)]
     results = repeat_broadcast(
@@ -146,7 +156,8 @@ def _run_simulate(args: argparse.Namespace) -> int:
     table.add_note(
         f"aggregate over {aggregate.runs} runs: success rate "
         f"{aggregate.success_rate:.2f}, mean rounds {aggregate.rounds.mean:.1f}, "
-        f"mean tx/node {aggregate.transmissions_per_node.mean:.2f}"
+        f"mean tx/node {aggregate.transmissions_per_node.mean:.2f} "
+        f"[engine: {results[0].metadata.get('engine', 'scalar')}]"
     )
     print(table.render())
     if args.save:

@@ -3,6 +3,10 @@
 from .channels import Channel, ChannelSet
 from .config import SimulationConfig
 from .engine import RoundEngine, run_broadcast
+from .engine_vectorized import (
+    VectorizedRoundEngine,
+    vectorization_unsupported_reason,
+)
 from .errors import (
     ConfigurationError,
     ExperimentError,
@@ -13,7 +17,7 @@ from .errors import (
 )
 from .message import Message, Payload
 from .metrics import RoundRecord, RunAggregate, RunResult, aggregate_runs
-from .node import NodeState, StateTable
+from .node import NodeState, StateTable, VectorState
 from .rng import RandomSource, derive_seed
 from .trace import NullTracer, RecordingTracer, TraceEvent, Tracer
 
@@ -24,10 +28,13 @@ __all__ = [
     "Payload",
     "NodeState",
     "StateTable",
+    "VectorState",
     "Channel",
     "ChannelSet",
     "SimulationConfig",
     "RoundEngine",
+    "VectorizedRoundEngine",
+    "vectorization_unsupported_reason",
     "run_broadcast",
     "RoundRecord",
     "RunResult",

@@ -40,20 +40,32 @@ class Channel:
 
 
 class ChannelSet:
-    """All channels opened during a single round."""
+    """All channels opened during a single round.
+
+    The engine's broadcast hot loop only ever iterates the flat channel list,
+    so the per-endpoint indexes are built lazily on the first ``outgoing`` /
+    ``incoming`` query (protocol hooks and tests use them; plain broadcasts
+    never do).  This keeps ``open`` to a single list append.
+    """
 
     def __init__(self) -> None:
         self._channels: List[Channel] = []
         self._outgoing: Dict[int, List[Channel]] = {}
         self._incoming: Dict[int, List[Channel]] = {}
+        self._indexed_count = 0
 
     def open(self, caller: int, callee: int) -> Channel:
-        """Open a channel from ``caller`` to ``callee`` and index it."""
+        """Open a channel from ``caller`` to ``callee``."""
         channel = Channel(caller=caller, callee=callee)
         self._channels.append(channel)
-        self._outgoing.setdefault(caller, []).append(channel)
-        self._incoming.setdefault(callee, []).append(channel)
         return channel
+
+    def _ensure_index(self) -> None:
+        """Index any channels opened since the last query."""
+        for channel in self._channels[self._indexed_count :]:
+            self._outgoing.setdefault(channel.caller, []).append(channel)
+            self._incoming.setdefault(channel.callee, []).append(channel)
+        self._indexed_count = len(self._channels)
 
     def __len__(self) -> int:
         return len(self._channels)
@@ -63,10 +75,12 @@ class ChannelSet:
 
     def outgoing(self, node_id: int) -> List[Channel]:
         """Channels opened *by* ``node_id`` this round."""
+        self._ensure_index()
         return self._outgoing.get(node_id, [])
 
     def incoming(self, node_id: int) -> List[Channel]:
         """Channels opened *to* ``node_id`` this round."""
+        self._ensure_index()
         return self._incoming.get(node_id, [])
 
     def callers_of(self, node_id: int) -> List[int]:

@@ -47,6 +47,15 @@ class SimulationConfig:
         schedule has rounds remaining.  The paper's algorithms run for their
         full deterministic horizon (a Monte Carlo guarantee); experiments that
         measure *completion time* enable early stopping instead.
+    engine:
+        Which round engine executes the run.  ``"auto"`` (default) picks the
+        bulk NumPy engine whenever the protocol and run configuration support
+        it (no tracer, no churn, no exchange hook, bulk protocol hooks
+        available) and silently falls back to the scalar engine otherwise;
+        ``"scalar"`` forces the per-node object engine; ``"vectorized"``
+        forces the bulk engine and raises :class:`SimulationError` if the
+        combination cannot be vectorized.  See
+        :mod:`repro.core.engine_vectorized` for the dispatch rules.
     """
 
     max_rounds: Optional[int] = None
@@ -55,11 +64,16 @@ class SimulationConfig:
     churn_rate: float = 0.0
     collect_round_history: bool = True
     stop_when_informed: bool = True
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_rounds is not None and self.max_rounds <= 0:
             raise ConfigurationError(
                 f"max_rounds must be positive or None, got {self.max_rounds}"
+            )
+        if self.engine not in ("auto", "scalar", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'auto', 'scalar', or 'vectorized', got {self.engine!r}"
             )
         for name in (
             "message_loss_probability",
@@ -79,6 +93,7 @@ class SimulationConfig:
             "churn_rate": self.churn_rate,
             "collect_round_history": self.collect_round_history,
             "stop_when_informed": self.stop_when_informed,
+            "engine": self.engine,
         }
         data.update(overrides)
         return SimulationConfig(**data)

@@ -20,6 +20,13 @@ opened by nodes that will not push cannot carry information, so the engine
 skips sampling them and accounts for their channel count arithmetically.  This
 keeps the per-round cost proportional to the number of *transmitting* nodes,
 which is what makes ``n ≈ 10⁵`` sweeps practical in pure Python.
+
+Beyond that scale, :func:`run_broadcast` transparently dispatches to the bulk
+NumPy engine (:mod:`repro.core.engine_vectorized`) whenever the protocol and
+run configuration allow it — see ``SimulationConfig.engine`` for the
+``"auto" | "scalar" | "vectorized"`` knob and the vectorized module docstring
+for the dispatch rules.  Instantiating :class:`RoundEngine` directly always
+runs the scalar path.
 """
 
 from __future__ import annotations
@@ -32,6 +39,10 @@ from ..graphs.base import Graph
 from ..protocols.base import BroadcastProtocol
 from .channels import ChannelSet
 from .config import SimulationConfig
+from .engine_vectorized import (
+    VectorizedRoundEngine,
+    vectorization_unsupported_reason,
+)
 from .errors import SimulationError
 from .metrics import RoundRecord, RunResult
 from .node import StateTable
@@ -162,6 +173,7 @@ class RoundEngine:
                 "failure_model": self.failure_model.describe(),
                 "churn_model": self.churn_model.describe(),
                 "final_node_count": self.graph.node_count,
+                "engine": "scalar",
             },
         )
 
@@ -314,7 +326,33 @@ def run_broadcast(
     churn_model: Optional[ChurnModel] = None,
     tracer: Optional[Tracer] = None,
 ) -> RunResult:
-    """Convenience wrapper: build a :class:`RoundEngine` and run one broadcast."""
+    """Run one broadcast, dispatching to the fastest engine that applies.
+
+    ``config.engine`` selects the execution strategy: ``"auto"`` (default)
+    uses the bulk NumPy engine when the protocol and configuration support it
+    and falls back to the scalar engine otherwise; ``"scalar"`` and
+    ``"vectorized"`` force one path (the latter raises
+    :class:`SimulationError`, naming the obstacle, if vectorization is
+    impossible).  Both engines produce the same :class:`RunResult` shape;
+    ``result.metadata["engine"]`` records which one ran.
+    """
+    cfg = config if config is not None else SimulationConfig()
+    if cfg.engine != "scalar":
+        reason = vectorization_unsupported_reason(
+            graph, protocol, cfg, failure_model, churn_model, tracer
+        )
+        if reason is None:
+            return VectorizedRoundEngine(
+                graph=graph,
+                protocol=protocol,
+                config=cfg,
+                seed=seed,
+                failure_model=failure_model,
+                churn_model=churn_model,
+                tracer=tracer,
+            ).run(source=source)
+        if cfg.engine == "vectorized":
+            raise SimulationError(f"engine='vectorized' requested but {reason}")
     engine = RoundEngine(
         graph=graph,
         protocol=protocol,

@@ -1,0 +1,377 @@
+"""The bulk NumPy round engine — the simulator's fast path.
+
+This engine executes the same synchronous random phone call model as
+:class:`repro.core.engine.RoundEngine`, but represents the whole round state
+as arrays (:class:`repro.core.node.VectorState`) and executes each round with
+bulk operations over the graph's CSR adjacency view:
+
+1. the protocol reports, as boolean masks over all nodes, who pushes and who
+   answers calls this round;
+2. every node that needs to sample does so in one batch — a single
+   ``Generator.integers`` gather for fanout 1, a chunked random-key top-``k``
+   selection for larger fanouts — yielding flat ``callers`` / ``callees``
+   channel arrays;
+3. failure injection is a Bernoulli array over the channels and transmissions;
+4. deliveries stage into a pending mask and commit at the end of the round,
+   so "received in round ``t``, effective in ``t + 1``" holds exactly as in
+   the scalar engine.
+
+There are no per-node Python objects or per-channel Python loops anywhere in
+the hot path, which makes ``n = 10⁶`` broadcasts run in seconds.
+
+Dispatch rules
+--------------
+The fast path reproduces the scalar engine's *aggregate* semantics (success,
+rounds-to-completion distribution, transmission and channel accounting
+identities) but not its per-call draw order, so runs with the same seed agree
+statistically, not bit-for-bit.  ``run_broadcast`` therefore selects it only
+when nothing the scalar engine offers beyond aggregates is requested:
+
+* the protocol opts in (``supports_vectorized``) and needs neither the
+  per-channel exchange hook nor the contact-memory mechanism;
+* no tracer is attached (tracing is inherently per-event);
+* there is no churn (CSR requires a static contiguous id space);
+* the failure model is ``ReliableDelivery`` or ``IndependentLoss`` (arbitrary
+  strategy objects cannot be batched);
+* the graph's node ids are contiguous ``0..n-1``.
+
+:func:`vectorization_unsupported_reason` centralises these checks and returns
+a human-readable reason (or ``None``) so the dispatcher and error messages
+stay in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..failures.churn import ChurnModel, NoChurn
+from ..failures.message_loss import FailureModel, IndependentLoss, ReliableDelivery
+from ..graphs.base import Graph
+from ..protocols.base import BroadcastProtocol
+from .config import SimulationConfig
+from .errors import SimulationError
+from .metrics import RoundRecord, RunResult
+from .node import VectorState
+from .rng import RandomSource
+from .trace import NullTracer, Tracer
+
+__all__ = ["VectorizedRoundEngine", "vectorization_unsupported_reason"]
+
+#: Upper bound on random keys materialised per sampling chunk (rows × max
+#: degree); keeps the k-distinct path's peak memory flat on dense graphs.
+_CHUNK_ENTRIES = 1 << 22
+
+
+def vectorization_unsupported_reason(
+    graph: Graph,
+    protocol: BroadcastProtocol,
+    config: SimulationConfig,
+    failure_model: Optional[FailureModel] = None,
+    churn_model: Optional[ChurnModel] = None,
+    tracer: Optional[Tracer] = None,
+) -> Optional[str]:
+    """Why this run cannot use the bulk engine, or ``None`` if it can."""
+    if not protocol.supports_vectorized:
+        return f"protocol {protocol.name!r} does not implement the bulk hooks"
+    if protocol.needs_exchange_hook:
+        return f"protocol {protocol.name!r} needs the per-channel exchange hook"
+    if protocol.memory_window > 0:
+        return f"protocol {protocol.name!r} uses the contact-memory mechanism"
+    # The bulk engine never builds a StateTable, so protocols that override
+    # the StateTable-based lifecycle hooks cannot run on it even if they
+    # opted in — guard against a future protocol combining both.
+    if type(protocol).on_round_start is not BroadcastProtocol.on_round_start:
+        return f"protocol {protocol.name!r} overrides the on_round_start hook"
+    if type(protocol).finished is not BroadcastProtocol.finished:
+        return f"protocol {protocol.name!r} overrides the finished() rule"
+    if type(protocol).on_round_committed is not BroadcastProtocol.on_round_committed and (
+        type(protocol).vector_on_round_committed
+        is BroadcastProtocol.vector_on_round_committed
+    ):
+        return (
+            f"protocol {protocol.name!r} overrides on_round_committed without "
+            "a bulk counterpart"
+        )
+    if tracer is not None and not isinstance(tracer, NullTracer):
+        return "a tracer is attached (tracing is per-event)"
+    if churn_model is not None and not isinstance(churn_model, NoChurn):
+        return "a churn model is attached (bulk state requires a static network)"
+    if failure_model is not None and not isinstance(
+        failure_model, (ReliableDelivery, IndependentLoss)
+    ):
+        return (
+            f"failure model {type(failure_model).__name__} cannot be batched "
+            "(only ReliableDelivery / IndependentLoss are vectorizable)"
+        )
+    if not graph.has_contiguous_ids():
+        return "graph node ids are not contiguous 0..n-1 (CSR export impossible)"
+    return None
+
+
+class VectorizedRoundEngine:
+    """Drives one protocol over one graph with bulk array operations.
+
+    Accepts the same parameters as :class:`repro.core.engine.RoundEngine` and
+    produces the same :class:`RunResult` shape; construction raises
+    :class:`SimulationError` if the combination cannot be vectorized (see
+    :func:`vectorization_unsupported_reason`).  RNG streams are spawned with
+    the same labels as the scalar engine ("protocol" / "failures"), but draw
+    granularity differs, so equal seeds give statistically equivalent — not
+    identical — runs.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: BroadcastProtocol,
+        config: Optional[SimulationConfig] = None,
+        seed: int = 0,
+        failure_model: Optional[FailureModel] = None,
+        churn_model: Optional[ChurnModel] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.graph = graph
+        self.protocol = protocol
+        self.config = config if config is not None else SimulationConfig()
+        if failure_model is not None:
+            self.failure_model = failure_model
+        elif (
+            self.config.message_loss_probability > 0
+            or self.config.channel_failure_probability > 0
+        ):
+            self.failure_model = IndependentLoss(
+                transmission_loss_probability=self.config.message_loss_probability,
+                channel_failure_probability=self.config.channel_failure_probability,
+            )
+        else:
+            self.failure_model = ReliableDelivery()
+        self.churn_model = churn_model if churn_model is not None else NoChurn()
+
+        reason = vectorization_unsupported_reason(
+            graph, protocol, self.config, self.failure_model, self.churn_model, tracer
+        )
+        if reason is not None:
+            raise SimulationError(f"run cannot be vectorized: {reason}")
+
+        self.rng = RandomSource(seed=seed, name="engine")
+        self._protocol_gen = self.rng.spawn("protocol").generator
+        self._failure_gen = self.rng.spawn("failures").generator
+        if isinstance(self.failure_model, IndependentLoss):
+            self._loss_p = self.failure_model.transmission_loss_probability
+            self._channel_fail_p = self.failure_model.channel_failure_probability
+        else:
+            self._loss_p = 0.0
+            self._channel_fail_p = 0.0
+
+        self._indptr, self._indices = graph.csr()
+        self._degrees = np.diff(self._indptr)
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, source: int = 0) -> RunResult:
+        """Broadcast a single message created at ``source`` in round 0."""
+        if source not in self.graph:
+            raise SimulationError(f"source node {source} is not in the graph")
+
+        n = self.graph.node_count
+        state = VectorState(n=n, source=source)
+        horizon = self.protocol.horizon()
+        if self.config.max_rounds is not None:
+            horizon = min(horizon, self.config.max_rounds)
+
+        history: list = []
+        phase_transmissions: dict = {}
+        totals = {"push": 0, "pull": 0, "channels": 0, "lost": 0}
+        rounds_to_completion: Optional[int] = None
+        rounds_executed = 0
+
+        for round_index in range(1, horizon + 1):
+            rounds_executed = round_index
+            record = self._run_round(round_index, state)
+            totals["push"] += record.push_transmissions
+            totals["pull"] += record.pull_transmissions
+            totals["channels"] += record.channels_opened
+            totals["lost"] += record.lost_transmissions
+            if record.phase:
+                phase_transmissions[record.phase] = (
+                    phase_transmissions.get(record.phase, 0) + record.transmissions
+                )
+            if self.config.collect_round_history:
+                history.append(record)
+
+            if rounds_to_completion is None and state.all_informed():
+                rounds_to_completion = round_index
+                if self.config.stop_when_informed:
+                    break
+
+        success = state.all_informed()
+        return RunResult(
+            n=n,
+            protocol=self.protocol.name,
+            source=source,
+            success=success,
+            rounds_executed=rounds_executed,
+            rounds_to_completion=rounds_to_completion,
+            total_push_transmissions=totals["push"],
+            total_pull_transmissions=totals["pull"],
+            total_channels_opened=totals["channels"],
+            total_lost_transmissions=totals["lost"],
+            final_informed=state.informed_count,
+            history=history,
+            phase_transmissions=phase_transmissions,
+            metadata={
+                "protocol": self.protocol.describe(),
+                "failure_model": self.failure_model.describe(),
+                "churn_model": self.churn_model.describe(),
+                "final_node_count": self.graph.node_count,
+                "engine": "vectorized",
+            },
+        )
+
+    # -- round mechanics -------------------------------------------------------------
+
+    def _run_round(self, round_index: int, state: VectorState) -> RoundRecord:
+        protocol = self.protocol
+        degrees = self._degrees
+        informed_before = state.informed_count
+
+        push_active = protocol.push_round(round_index)
+        pull_active = protocol.pull_round(round_index)
+        fanout = protocol.vector_fanout(round_index)
+
+        # Every node opens min(fanout, degree) channels per round in the full
+        # phone-call model, whether or not its calls can carry information —
+        # identical to the scalar engine's arithmetic accounting.
+        channels_opened = int(np.minimum(degrees, fanout).sum())
+
+        push_mask = protocol.vector_wants_push(round_index, state) if push_active else None
+        pull_mask = protocol.vector_wants_pull(round_index, state) if pull_active else None
+
+        # Only channels that can carry a message this round are materialised:
+        # in pull rounds any caller may receive, in push-only rounds only the
+        # pushers' calls matter.
+        if pull_active:
+            samplers = np.flatnonzero(degrees > 0)
+        elif push_active:
+            samplers = np.flatnonzero(push_mask & (degrees > 0))
+        else:
+            samplers = np.empty(0, dtype=np.int64)
+
+        callers, callees = self._sample_call_targets(samplers, fanout)
+
+        # Self-calls (self-loop stubs) count as opened channels but never
+        # connect; failed channels are unusable for both directions.
+        usable = callers != callees
+        if self._channel_fail_p > 0.0 and callers.size:
+            usable &= self._failure_gen.random(callers.size) >= self._channel_fail_p
+        if not usable.all():
+            callers = callers[usable]
+            callees = callees[usable]
+
+        push_transmissions = 0
+        pull_transmissions = 0
+        lost_transmissions = 0
+
+        if push_active and callers.size:
+            sending = push_mask[callers]
+            receivers = callees[sending]
+            push_transmissions = int(receivers.size)
+            receivers, lost = self._drop_lost(receivers)
+            lost_transmissions += lost
+            state.pending[receivers] = True
+
+        if pull_active and callers.size:
+            answering = pull_mask[callees]
+            receivers = callers[answering]
+            pull_transmissions = int(receivers.size)
+            receivers, lost = self._drop_lost(receivers)
+            lost_transmissions += lost
+            state.pending[receivers] = True
+
+        newly_informed = state.commit_round(round_index)
+        protocol.vector_on_round_committed(round_index, state, newly_informed)
+
+        return RoundRecord(
+            round_index=round_index,
+            informed_before=informed_before,
+            informed_after=state.informed_count,
+            push_transmissions=push_transmissions,
+            pull_transmissions=pull_transmissions,
+            channels_opened=channels_opened,
+            lost_transmissions=lost_transmissions,
+            phase=protocol.phase_label(round_index),
+        )
+
+    def _drop_lost(self, receivers: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Apply per-transmission loss; return (delivered receivers, lost count)."""
+        if self._loss_p <= 0.0 or receivers.size == 0:
+            return receivers, 0
+        lost_mask = self._failure_gen.random(receivers.size) < self._loss_p
+        lost = int(lost_mask.sum())
+        if lost:
+            receivers = receivers[~lost_mask]
+        return receivers, lost
+
+    # -- neighbour sampling -----------------------------------------------------------
+
+    def _sample_call_targets(
+        self, samplers: np.ndarray, fanout: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Each sampler calls ``min(fanout, degree)`` distinct adjacency stubs.
+
+        Returns flat ``(callers, callees)`` arrays, one entry per channel.
+        Sampling is over adjacency *positions*, so parallel edges weight the
+        draw exactly as the scalar ``select_call_targets`` does.
+        """
+        indptr, indices = self._indptr, self._indices
+        degrees = self._degrees
+        empty = np.empty(0, dtype=np.int64)
+        if samplers.size == 0 or fanout <= 0:
+            return empty, empty
+
+        if fanout == 1:
+            # Hot path of the standard model: one uniform stub per node.
+            offsets = self._protocol_gen.integers(0, degrees[samplers])
+            return samplers, indices[indptr[samplers] + offsets]
+
+        sampler_degrees = degrees[samplers]
+        saturated = sampler_degrees <= fanout
+
+        # Saturated nodes (degree <= fanout) call every neighbour.
+        callers_parts = []
+        callees_parts = []
+        full_nodes = samplers[saturated]
+        if full_nodes.size:
+            lengths = sampler_degrees[saturated]
+            total = int(lengths.sum())
+            starts = np.repeat(indptr[full_nodes], lengths)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(lengths) - lengths, lengths
+            )
+            callers_parts.append(np.repeat(full_nodes, lengths))
+            callees_parts.append(indices[starts + within])
+
+        # Remaining nodes draw a uniform k-subset of stubs via random keys:
+        # the k smallest of d iid uniforms index a uniformly random distinct
+        # sample.  Chunked so rows × max-degree stays within a flat budget.
+        deep_nodes = samplers[~saturated]
+        if deep_nodes.size:
+            deep_degrees = sampler_degrees[~saturated]
+            max_degree = int(deep_degrees.max())
+            rows_per_chunk = max(1, _CHUNK_ENTRIES // max_degree)
+            column = np.arange(max_degree, dtype=np.int64)
+            for start in range(0, deep_nodes.size, rows_per_chunk):
+                nodes = deep_nodes[start : start + rows_per_chunk]
+                node_degrees = deep_degrees[start : start + rows_per_chunk]
+                keys = self._protocol_gen.random((nodes.size, max_degree))
+                keys[column[None, :] >= node_degrees[:, None]] = np.inf
+                chosen = np.argpartition(keys, fanout - 1, axis=1)[:, :fanout]
+                positions = indptr[nodes][:, None] + chosen
+                callers_parts.append(np.repeat(nodes, fanout))
+                callees_parts.append(indices[positions.ravel()])
+
+        if not callers_parts:
+            return empty, empty
+        return np.concatenate(callers_parts), np.concatenate(callees_parts)

@@ -5,6 +5,12 @@ update it through a small, explicit API; the round engine only ever touches
 the delivery buffer (:meth:`NodeState.deliver`) and the end-of-round commit
 (:meth:`NodeState.commit_round`), which makes the "messages received in round
 ``t`` only take effect in round ``t + 1``" semantics of the paper explicit.
+
+:class:`VectorState` is the struct-of-arrays counterpart used by the
+vectorized engine (:mod:`repro.core.engine_vectorized`): the same four fields
+— informed flag, informed round, active flag, staged delivery — held as NumPy
+arrays over all nodes so a round is a handful of bulk operations instead of
+``n`` object manipulations.
 """
 
 from __future__ import annotations
@@ -12,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
-__all__ = ["NodeState", "StateTable"]
+import numpy as np
+
+__all__ = ["NodeState", "StateTable", "VectorState"]
 
 
 @dataclass
@@ -108,6 +116,7 @@ class StateTable:
         }
         self._states[source].make_source()
         self._informed_count = 1
+        self._dropped_pending_deliveries = 0
         self.source = source
 
     # -- element access -------------------------------------------------------
@@ -131,11 +140,24 @@ class StateTable:
         self._states[node_id] = state
         return state
 
-    def remove_node(self, node_id: int) -> None:
-        """Remove a node that left the network mid-run."""
+    def remove_node(self, node_id: int) -> NodeState:
+        """Remove a node that left the network mid-run.
+
+        A departing node may hold a delivery staged earlier in the same round
+        (``deliver`` ran, ``commit_round`` has not).  That transmission was
+        already counted by the engine but will never produce an informed node;
+        it is recorded in :attr:`dropped_pending_deliveries` so transmission
+        accounting identities can distinguish "lost to failure" from "lost to
+        churn".  The removed state is returned with its staged delivery
+        cleared, so re-adding the same id later starts from a clean slate.
+        """
         state = self._states.pop(node_id)
         if state.informed:
             self._informed_count -= 1
+        elif state._pending_round is not None:
+            self._dropped_pending_deliveries += 1
+            state._pending_round = None
+        return state
 
     def contains(self, node_id: int) -> bool:
         """True if ``node_id`` currently belongs to the network."""
@@ -151,6 +173,11 @@ class StateTable:
     def informed_count(self) -> int:
         """Number of currently informed nodes."""
         return self._informed_count
+
+    @property
+    def dropped_pending_deliveries(self) -> int:
+        """Staged deliveries that vanished because their node departed."""
+        return self._dropped_pending_deliveries
 
     @property
     def uninformed_count(self) -> int:
@@ -176,4 +203,76 @@ class StateTable:
             if state.commit_round():
                 newly.add(state.node_id)
         self._informed_count += len(newly)
+        return newly
+
+
+class VectorState:
+    """Broadcast state of *all* nodes as NumPy arrays (struct-of-arrays).
+
+    The vectorized engine's counterpart of :class:`StateTable`: one boolean
+    array per flag instead of one :class:`NodeState` object per node.  The
+    commit discipline is identical — deliveries stage into :attr:`pending`
+    during a round and only promote at :meth:`commit_round` — so "a node
+    cannot forward a message in the round it receives it" holds bit-for-bit.
+
+    Protocol bulk hooks (``vector_wants_push`` etc.) receive this object and
+    must treat the arrays as read-only; only the engine and the commit hook
+    mutate them.
+
+    Attributes
+    ----------
+    informed:
+        ``bool[n]`` — node currently knows the message.
+    informed_round:
+        ``int64[n]`` — round the node became informed (``0`` for the source,
+        ``-1`` while uninformed).
+    active:
+        ``bool[n]`` — Algorithm 1's Phase-4 "active" flag.
+    pending:
+        ``bool[n]`` — a delivery staged this round, cleared by
+        :meth:`commit_round`.
+    """
+
+    __slots__ = ("n", "source", "informed", "informed_round", "active", "pending", "_informed_count")
+
+    def __init__(self, n: int, source: int) -> None:
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} outside [0, {n})")
+        self.n = n
+        self.source = source
+        self.informed = np.zeros(n, dtype=bool)
+        self.informed_round = np.full(n, -1, dtype=np.int64)
+        self.active = np.zeros(n, dtype=bool)
+        self.pending = np.zeros(n, dtype=bool)
+        self.informed[source] = True
+        self.informed_round[source] = 0
+        self._informed_count = 1
+
+    # -- aggregate queries -----------------------------------------------------
+
+    @property
+    def informed_count(self) -> int:
+        """Number of currently informed nodes."""
+        return self._informed_count
+
+    @property
+    def uninformed_count(self) -> int:
+        """Number of currently uninformed nodes."""
+        return self.n - self._informed_count
+
+    def all_informed(self) -> bool:
+        """True if every node is informed."""
+        return self._informed_count == self.n
+
+    # -- round lifecycle -------------------------------------------------------
+
+    def commit_round(self, round_index: int) -> np.ndarray:
+        """Promote all staged deliveries; return the ids newly informed."""
+        newly_mask = self.pending & ~self.informed
+        newly = np.flatnonzero(newly_mask)
+        if newly.size:
+            self.informed[newly] = True
+            self.informed_round[newly] = round_index
+            self._informed_count += int(newly.size)
+        self.pending.fill(False)
         return newly

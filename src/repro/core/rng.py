@@ -17,6 +17,7 @@ statistically independent child streams.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,21 +28,26 @@ __all__ = ["RandomSource", "derive_seed"]
 def derive_seed(seed: int, *labels: object) -> int:
     """Derive a new 63-bit seed from ``seed`` and a sequence of labels.
 
-    The derivation is a stable hash (SeedSequence entropy mixing) of the
-    master seed and the labels, so the same ``(seed, labels)`` pair always
-    produces the same child seed across processes and Python versions.
+    The derivation is a stable hash (a BLAKE2 digest of each label's string
+    form, mixed through SeedSequence) of the master seed and the labels, so
+    the same ``(seed, labels)`` pair always produces the same child seed
+    across processes and Python versions.  Python's built-in ``hash`` is
+    deliberately *not* used: string hashes are randomised per process
+    (``PYTHONHASHSEED``), which would silently break cross-process
+    reproducibility of every experiment seed.
 
     Parameters
     ----------
     seed:
         Master seed.
     labels:
-        Arbitrary hashable labels identifying the consumer, e.g.
-        ``("graph", n, d)`` or ``("replica", 3)``.
+        Arbitrary labels identifying the consumer, e.g. ``("graph", n, d)``
+        or ``("replica", 3)``; each is digested via ``str(label)``.
     """
     material = [seed & 0xFFFFFFFF, (seed >> 32) & 0xFFFFFFFF]
     for label in labels:
-        material.append(abs(hash(str(label))) & 0xFFFFFFFF)
+        digest = hashlib.blake2b(str(label).encode("utf-8"), digest_size=4)
+        material.append(int.from_bytes(digest.digest(), "little"))
     ss = np.random.SeedSequence(material)
     return int(ss.generate_state(1, dtype=np.uint64)[0] & 0x7FFFFFFFFFFFFFFF)
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.config import SimulationConfig
-from ..core.engine import RoundEngine
+from ..core.engine import run_broadcast
 from ..core.metrics import RunAggregate, RunResult, aggregate_runs
 from ..core.rng import RandomSource, derive_seed
 from ..failures.churn import ChurnModel
@@ -44,22 +44,26 @@ def repeat_broadcast(
 
     A fresh protocol instance is built per run (protocols may hold per-run
     state), and the graph is copied per run when a churn model is supplied
-    because churn mutates it.
+    because churn mutates it.  Engine selection goes through
+    :func:`run_broadcast`, so sweeps pick up the vectorized fast path
+    whenever the protocol and configuration allow it.
     """
     results: List[RunResult] = []
     for seed in seeds:
         protocol = protocol_factory(n_estimate)
         run_graph = graph.copy() if churn_factory is not None else graph
         churn_model = churn_factory() if churn_factory is not None else None
-        engine = RoundEngine(
-            graph=run_graph,
-            protocol=protocol,
-            config=config,
-            seed=seed,
-            failure_model=failure_model,
-            churn_model=churn_model,
+        results.append(
+            run_broadcast(
+                graph=run_graph,
+                protocol=protocol,
+                source=source,
+                seed=seed,
+                config=config,
+                failure_model=failure_model,
+                churn_model=churn_model,
+            )
         )
-        results.append(engine.run(source=source))
     return results
 
 
@@ -74,10 +78,16 @@ class ExperimentRunner:
         experiment is reproducible from this single number.
     repetitions:
         Number of independent broadcast runs per configuration.
+    engine:
+        Engine selection forwarded into every broadcast's
+        :class:`SimulationConfig` (``"auto"`` | ``"scalar"`` |
+        ``"vectorized"``).  ``"auto"`` leaves any caller-supplied config
+        untouched.
     """
 
     master_seed: int = 2008
     repetitions: int = 5
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         self._graph_cache: Dict[Tuple[int, int, int], Graph] = {}
@@ -115,6 +125,10 @@ class ExperimentRunner:
         """Run ``protocol_factory`` over the cached ``(n, d)`` graph."""
         graph = self.regular_graph(n, d)
         seeds = self.run_seeds(f"{label}-{n}-{d}", repetitions)
+        if self.engine != "auto":
+            config = (config if config is not None else SimulationConfig()).with_overrides(
+                engine=self.engine
+            )
         return repeat_broadcast(
             graph=graph,
             protocol_factory=protocol_factory,

@@ -11,9 +11,10 @@ only for structural property computations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 __all__ = ["Graph"]
 
@@ -31,6 +32,10 @@ class Graph:
     def __init__(self, nodes: Iterable[int] = ()) -> None:
         self._adjacency: Dict[int, List[int]] = {node: [] for node in nodes}
         self._edge_count = 0
+        self._csr_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def _invalidate_csr(self) -> None:
+        self._csr_cache = None
 
     # -- construction ----------------------------------------------------------
 
@@ -40,6 +45,41 @@ class Graph:
         graph = cls(range(n))
         for u, v in edges:
             graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_edge_array(cls, n: int, edges: np.ndarray) -> "Graph":
+        """Build a graph on nodes ``0..n-1`` from an ``(m, 2)`` endpoint array.
+
+        Bulk counterpart of :meth:`from_edges` used by the graph generators:
+        the adjacency lists are assembled with NumPy grouping instead of ``m``
+        individual ``add_edge`` calls, and the CSR view is seeded as a side
+        effect, so million-node graphs construct in seconds.  Self-loops are
+        represented exactly as ``add_edge`` would represent them (two entries
+        at the looping node).
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edge array must have shape (m, 2), got {edges.shape}")
+        if edges.size == 0:
+            return cls(range(n))
+        if edges.min() < 0 or edges.max() >= n:
+            raise ValueError(f"edge endpoints must lie in [0, {n})")
+        src = np.concatenate([edges[:, 0], edges[:, 1]])
+        dst = np.concatenate([edges[:, 1], edges[:, 0]])
+        order = np.argsort(src, kind="stable")
+        grouped = dst[order]
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        stubs = grouped.tolist()
+        bounds = indptr.tolist()
+        graph = cls()
+        graph._adjacency = {
+            node: stubs[bounds[node] : bounds[node + 1]] for node in range(n)
+        }
+        graph._edge_count = edges.shape[0]
+        graph._csr_cache = (indptr, grouped)
         return graph
 
     @classmethod
@@ -53,7 +93,9 @@ class Graph:
 
     def add_node(self, node_id: int) -> None:
         """Add an isolated node (no-op if already present)."""
-        self._adjacency.setdefault(node_id, [])
+        if node_id not in self._adjacency:
+            self._adjacency[node_id] = []
+            self._invalidate_csr()
 
     def add_edge(self, u: int, v: int) -> None:
         """Add an undirected edge (allows self-loops and parallel edges).
@@ -67,12 +109,14 @@ class Graph:
         self._adjacency[u].append(v)
         self._adjacency[v].append(u)
         self._edge_count += 1
+        self._invalidate_csr()
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove one copy of the undirected edge ``(u, v)``."""
         self._adjacency[u].remove(v)
         self._adjacency[v].remove(u)
         self._edge_count -= 1
+        self._invalidate_csr()
 
     def remove_node(self, node_id: int) -> None:
         """Remove a node and all its incident edges."""
@@ -86,6 +130,7 @@ class Graph:
             self._adjacency[other] = [x for x in self._adjacency[other] if x != node_id]
             removed += count
         self._edge_count -= removed
+        self._invalidate_csr()
 
     # -- queries ---------------------------------------------------------------
 
@@ -164,6 +209,55 @@ class Graph:
         """True if every node has the same degree."""
         degrees = {len(adj) for adj in self._adjacency.values()}
         return len(degrees) <= 1
+
+    # -- bulk (CSR) view ---------------------------------------------------------
+
+    def has_contiguous_ids(self) -> bool:
+        """True if the node ids are exactly ``0..n-1`` (CSR requirement)."""
+        n = len(self._adjacency)
+        if n == 0:
+            return False
+        return min(self._adjacency) == 0 and max(self._adjacency) == n - 1
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The adjacency structure as cached CSR offset arrays.
+
+        Returns ``(indptr, indices)`` — ``indices[indptr[v]:indptr[v+1]]`` are
+        the adjacency stubs of node ``v``, in the same order as
+        :meth:`neighbors`, so index-based sampling over either view draws from
+        the same distribution (parallel edges and self-loops keep their
+        multiplicity).  The arrays are cached until the graph mutates; callers
+        must treat them as read-only.
+
+        Raises
+        ------
+        ValueError
+            If the node ids are not contiguous ``0..n-1`` (e.g. after churn).
+        """
+        if self._csr_cache is None:
+            if not self.has_contiguous_ids():
+                raise ValueError(
+                    "CSR export requires contiguous node ids 0..n-1; "
+                    "this graph has been mutated into a sparse id space"
+                )
+            n = len(self._adjacency)
+            counts = np.empty(n, dtype=np.int64)
+            for node in range(n):
+                counts[node] = len(self._adjacency[node])
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            for node in range(n):
+                start, end = indptr[node], indptr[node + 1]
+                if end > start:
+                    indices[start:end] = self._adjacency[node]
+            self._csr_cache = (indptr, indices)
+        return self._csr_cache
+
+    def degree_array(self) -> np.ndarray:
+        """Per-node degrees as an array aligned with the CSR view."""
+        indptr, _ = self.csr()
+        return np.diff(indptr)
 
     # -- conversions -------------------------------------------------------------
 

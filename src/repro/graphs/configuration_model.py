@@ -78,13 +78,15 @@ def _random_pairing(n: int, d: int, rng: RandomSource) -> np.ndarray:
 
 
 def pairing_multigraph(n: int, d: int, rng: RandomSource) -> Graph:
-    """One draw of the pairing process (self-loops / parallel edges allowed)."""
+    """One draw of the pairing process (self-loops / parallel edges allowed).
+
+    Built through :meth:`Graph.from_edge_array`, which also seeds the CSR
+    cache, so million-node multigraphs are cheap enough to generate inline in
+    the large-``n`` benchmarks.
+    """
     validate_regular_parameters(n, d)
     stubs = _random_pairing(n, d, rng)
-    graph = Graph(range(n))
-    for i in range(0, n * d, 2):
-        graph.add_edge(int(stubs[i]), int(stubs[i + 1]))
-    return graph
+    return Graph.from_edge_array(n, stubs.reshape(-1, 2))
 
 
 def _pairing_edge_array(n: int, d: int, rng: RandomSource) -> np.ndarray:
@@ -225,10 +227,7 @@ def random_regular_graph(
     if strategy == "repair":
         edges = _pairing_edge_array(n, d, rng)
         edges = repair_to_simple(edges, rng.spawn("repair"))
-        graph = Graph(range(n))
-        for u, v in edges:
-            graph.add_edge(int(u), int(v))
-        return graph
+        return Graph.from_edge_array(n, edges)
 
     if strategy == "networkx":
         nx_graph = nx.random_regular_graph(d, n, seed=rng.randint(0, 2**31 - 1))

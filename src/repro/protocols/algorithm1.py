@@ -27,8 +27,10 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
+import numpy as np
+
 from ..core.errors import ConfigurationError
-from ..core.node import NodeState, StateTable
+from ..core.node import NodeState, StateTable, VectorState
 from .base import BroadcastProtocol
 from .schedule import PhaseSchedule, algorithm1_schedule
 
@@ -57,6 +59,7 @@ class Algorithm1(BroadcastProtocol):
     """
 
     name = "algorithm1"
+    supports_vectorized = True
 
     def __init__(
         self,
@@ -116,6 +119,34 @@ class Algorithm1(BroadcastProtocol):
 
     def wants_pull(self, state: NodeState, round_index: int) -> bool:
         return state.informed and self.schedule.phase_of(round_index) == 3
+
+    # -- bulk hooks -----------------------------------------------------------------
+
+    def vector_fanout(self, round_index: int) -> int:
+        return self._fanout
+
+    def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
+        phase = self.schedule.phase_of(round_index)
+        if phase == 1:
+            return state.informed & (state.informed_round == round_index - 1)
+        if phase == 2:
+            return state.informed
+        if phase == 4:
+            return state.informed & (
+                state.active | (state.informed_round == round_index - 1)
+            )
+        return np.zeros(state.n, dtype=bool)
+
+    def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
+        if self.schedule.phase_of(round_index) == 3:
+            return state.informed
+        return np.zeros(state.n, dtype=bool)
+
+    def vector_on_round_committed(
+        self, round_index: int, state: VectorState, newly_informed: np.ndarray
+    ) -> None:
+        if self.schedule.phase_of(round_index) >= 3 and newly_informed.size:
+            state.active[newly_informed] = True
 
     # -- lifecycle -----------------------------------------------------------------
 

@@ -16,7 +16,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional, Set
 
-from ..core.node import NodeState, StateTable
+import numpy as np
+
+from ..core.node import NodeState, StateTable, VectorState
 from ..core.rng import RandomSource
 
 __all__ = ["BroadcastProtocol"]
@@ -43,6 +45,20 @@ class BroadcastProtocol(ABC):
     #: (:meth:`on_channel_exchange`).  The engine skips the hook entirely for
     #: protocols that leave this False, so the common case pays nothing.
     needs_exchange_hook: bool = False
+
+    #: Opt-in capability flag for the bulk NumPy engine.  A protocol that sets
+    #: this True promises that (a) the three ``vector_*`` decision hooks below
+    #: are implemented and agree node-for-node with ``fanout`` / ``wants_push``
+    #: / ``wants_pull``, (b) its fanout is uniform across nodes within a
+    #: round, (c) it needs neither the contact-memory mechanism
+    #: (``memory_window == 0``) nor a custom ``select_call_targets``, and
+    #: (d) it relies on none of the :class:`StateTable`-based lifecycle hooks
+    #: the bulk engine never calls: ``on_round_start`` and ``finished`` must
+    #: keep their defaults, and an ``on_round_committed`` override needs a
+    #: ``vector_on_round_committed`` counterpart.  The dispatcher
+    #: (:func:`repro.core.engine_vectorized.vectorization_unsupported_reason`)
+    #: enforces (c) and (d) and falls back to the scalar engine when violated.
+    supports_vectorized: bool = False
 
     # -- scheduling -----------------------------------------------------------
 
@@ -118,6 +134,40 @@ class BroadcastProtocol(ABC):
             for target in targets:
                 state.remember_partner(target, self.memory_window)
         return targets
+
+    # -- bulk (vectorized) hooks ------------------------------------------------
+
+    def vector_fanout(self, round_index: int) -> int:
+        """Uniform per-node fanout for ``round_index`` (bulk engine only).
+
+        The vectorized engine samples all nodes' call targets in one batch,
+        which requires every node to use the same fanout within a round.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the bulk fanout hook"
+        )
+
+    def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
+        """Boolean mask over all nodes that push during ``round_index``.
+
+        Must equal ``[wants_push(states[v], round_index) for v in nodes]``
+        element-wise; the returned array (or view) is not mutated by the
+        engine but must not alias writable protocol state.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the bulk push hook"
+        )
+
+    def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
+        """Boolean mask over all nodes that answer calls during ``round_index``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the bulk pull hook"
+        )
+
+    def vector_on_round_committed(
+        self, round_index: int, state: VectorState, newly_informed: np.ndarray
+    ) -> None:
+        """Bulk counterpart of :meth:`on_round_committed` (ids as an array)."""
 
     # -- lifecycle hooks -------------------------------------------------------------
 

@@ -12,8 +12,10 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from ..core.errors import ConfigurationError
-from ..core.node import NodeState
+from ..core.node import NodeState, VectorState
 from .base import BroadcastProtocol, OptionalHorizonMixin
 
 __all__ = ["PullProtocol"]
@@ -23,6 +25,7 @@ class PullProtocol(BroadcastProtocol, OptionalHorizonMixin):
     """Pull-only broadcasting with a configurable fanout."""
 
     name = "pull"
+    supports_vectorized = True
 
     def __init__(
         self,
@@ -60,6 +63,17 @@ class PullProtocol(BroadcastProtocol, OptionalHorizonMixin):
         return False
 
     def wants_pull(self, state: NodeState, round_index: int) -> bool:
+        return state.informed
+
+    # -- bulk hooks -----------------------------------------------------------
+
+    def vector_fanout(self, round_index: int) -> int:
+        return self._fanout
+
+    def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
+        return np.zeros(state.n, dtype=bool)
+
+    def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
         return state.informed
 
     def describe(self) -> dict:

@@ -11,8 +11,10 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from ..core.errors import ConfigurationError
-from ..core.node import NodeState
+from ..core.node import NodeState, VectorState
 from .base import BroadcastProtocol, OptionalHorizonMixin
 
 __all__ = ["PushProtocol"]
@@ -37,6 +39,7 @@ class PushProtocol(BroadcastProtocol, OptionalHorizonMixin):
     """
 
     name = "push"
+    supports_vectorized = True
 
     def __init__(
         self,
@@ -75,6 +78,17 @@ class PushProtocol(BroadcastProtocol, OptionalHorizonMixin):
 
     def wants_pull(self, state: NodeState, round_index: int) -> bool:
         return False
+
+    # -- bulk hooks -----------------------------------------------------------
+
+    def vector_fanout(self, round_index: int) -> int:
+        return self._fanout
+
+    def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
+        return state.informed
+
+    def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
+        return np.zeros(state.n, dtype=bool)
 
     def describe(self) -> dict:
         description = super().describe()

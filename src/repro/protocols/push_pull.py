@@ -19,8 +19,10 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from ..core.errors import ConfigurationError
-from ..core.node import NodeState
+from ..core.node import NodeState, VectorState
 from .base import BroadcastProtocol, OptionalHorizonMixin
 
 __all__ = ["PushPullProtocol"]
@@ -44,6 +46,7 @@ class PushPullProtocol(BroadcastProtocol, OptionalHorizonMixin):
     """
 
     name = "push-pull"
+    supports_vectorized = True
 
     def __init__(
         self,
@@ -87,6 +90,17 @@ class PushPullProtocol(BroadcastProtocol, OptionalHorizonMixin):
         return state.informed
 
     def wants_pull(self, state: NodeState, round_index: int) -> bool:
+        return state.informed
+
+    # -- bulk hooks -----------------------------------------------------------
+
+    def vector_fanout(self, round_index: int) -> int:
+        return self._fanout
+
+    def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
+        return state.informed
+
+    def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
         return state.informed
 
     def describe(self) -> dict:

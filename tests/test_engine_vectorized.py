@@ -1,0 +1,459 @@
+"""Cross-engine parity suite: scalar vs vectorized round engines.
+
+The vectorized engine promises the scalar engine's *aggregate* semantics —
+success, informed-curve shape, transmission and channel accounting identities
+— without promising identical per-call draw order.  These tests therefore
+check three layers:
+
+1. **dispatch** — ``engine="auto"`` picks the bulk engine exactly when the
+   documented preconditions hold, and ``engine="vectorized"`` fails loudly
+   otherwise;
+2. **exact invariants** — identities that must hold run-for-run on both
+   engines (channel accounting, conservation, monotonicity, phase sums);
+3. **statistical parity** — distributions over seeds (completion rounds,
+   transmissions) agree between the engines within tight tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.engine import run_broadcast
+from repro.core.engine_vectorized import (
+    VectorizedRoundEngine,
+    vectorization_unsupported_reason,
+)
+from repro.core.errors import SimulationError
+from repro.core.node import VectorState
+from repro.core.rng import RandomSource
+from repro.core.trace import RecordingTracer
+from repro.failures.churn import UniformChurn
+from repro.failures.message_loss import IndependentLoss
+from repro.graphs.base import Graph
+from repro.graphs.configuration_model import pairing_multigraph, random_regular_graph
+from repro.graphs.families import complete_graph
+from repro.protocols.algorithm1 import Algorithm1
+from repro.protocols.pull import PullProtocol
+from repro.protocols.push import PushProtocol
+from repro.protocols.push_pull import PushPullProtocol
+from repro.protocols.quasirandom import QuasirandomPushProtocol
+
+PROTOCOL_FACTORIES = {
+    "push": lambda n: PushProtocol(n_estimate=n),
+    "pull": lambda n: PullProtocol(n_estimate=n),
+    "push-pull": lambda n: PushPullProtocol(n_estimate=n),
+    "algorithm1": lambda n: Algorithm1(n_estimate=n),
+}
+
+PROTOCOL_FANOUTS = {"push": 1, "pull": 1, "push-pull": 1, "algorithm1": 4}
+
+
+@pytest.fixture(scope="module")
+def regular_graph():
+    return random_regular_graph(256, 8, RandomSource(seed=42), strategy="repair")
+
+
+@pytest.fixture(scope="module")
+def parity_complete_graph():
+    return complete_graph(64)
+
+
+def run_with_engine(graph, protocol, engine, seed, **config_kwargs):
+    config = SimulationConfig(engine=engine, **config_kwargs)
+    return run_broadcast(graph, protocol, seed=seed, config=config)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch rules
+# ---------------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_auto_uses_vectorized_for_supported_protocol(self, regular_graph):
+        result = run_broadcast(regular_graph, PushProtocol(n_estimate=256), seed=1)
+        assert result.metadata["engine"] == "vectorized"
+
+    def test_scalar_engine_can_be_forced(self, regular_graph):
+        result = run_with_engine(
+            regular_graph, PushProtocol(n_estimate=256), "scalar", seed=1
+        )
+        assert result.metadata["engine"] == "scalar"
+
+    def test_tracer_falls_back_to_scalar(self, regular_graph):
+        result = run_broadcast(
+            regular_graph,
+            PushProtocol(n_estimate=256),
+            seed=1,
+            tracer=RecordingTracer(),
+        )
+        assert result.metadata["engine"] == "scalar"
+
+    def test_churn_falls_back_to_scalar(self, regular_graph):
+        result = run_broadcast(
+            regular_graph.copy(),
+            PushProtocol(n_estimate=256),
+            seed=1,
+            churn_model=UniformChurn(leave_rate=0.01, join_rate=0.01, target_degree=8),
+        )
+        assert result.metadata["engine"] == "scalar"
+
+    def test_unsupported_protocol_falls_back_to_scalar(self, regular_graph):
+        result = run_broadcast(
+            regular_graph, QuasirandomPushProtocol(n_estimate=256), seed=1
+        )
+        assert result.metadata["engine"] == "scalar"
+
+    def test_forcing_vectorized_with_tracer_raises(self, regular_graph):
+        with pytest.raises(SimulationError, match="tracer"):
+            run_broadcast(
+                regular_graph,
+                PushProtocol(n_estimate=256),
+                seed=1,
+                config=SimulationConfig(engine="vectorized"),
+                tracer=RecordingTracer(),
+            )
+
+    def test_forcing_vectorized_with_unsupported_protocol_raises(self, regular_graph):
+        with pytest.raises(SimulationError, match="bulk hooks"):
+            run_broadcast(
+                regular_graph,
+                QuasirandomPushProtocol(n_estimate=256),
+                seed=1,
+                config=SimulationConfig(engine="vectorized"),
+            )
+
+    def test_non_contiguous_ids_fall_back_to_scalar(self):
+        graph = random_regular_graph(32, 4, RandomSource(seed=3))
+        graph.remove_node(7)
+        reason = vectorization_unsupported_reason(
+            graph, PushProtocol(n_estimate=32), SimulationConfig()
+        )
+        assert reason is not None and "contiguous" in reason
+
+    def test_independent_loss_is_vectorizable(self, regular_graph):
+        result = run_broadcast(
+            regular_graph,
+            PushProtocol(n_estimate=256),
+            seed=1,
+            failure_model=IndependentLoss(transmission_loss_probability=0.2),
+        )
+        assert result.metadata["engine"] == "vectorized"
+
+    def test_constructor_rejects_unsupported_combination(self, regular_graph):
+        with pytest.raises(SimulationError):
+            VectorizedRoundEngine(
+                graph=regular_graph,
+                protocol=QuasirandomPushProtocol(n_estimate=256),
+            )
+
+    def test_overridden_lifecycle_hooks_force_scalar(self, regular_graph):
+        # A protocol may opt in to the bulk hooks but still override a
+        # StateTable-based lifecycle hook the vectorized engine never calls;
+        # dispatch must then fall back to the scalar engine.
+        class EagerStart(PushProtocol):
+            def on_round_start(self, round_index, states):
+                pass
+
+        class EarlyFinish(PushProtocol):
+            def finished(self, round_index, states):
+                return round_index >= 2
+
+        for protocol in (EagerStart(n_estimate=256), EarlyFinish(n_estimate=256)):
+            reason = vectorization_unsupported_reason(
+                regular_graph, protocol, SimulationConfig()
+            )
+            assert reason is not None
+            result = run_broadcast(regular_graph, protocol, seed=1)
+            assert result.metadata["engine"] == "scalar"
+
+
+# ---------------------------------------------------------------------------
+# Exact invariants, per protocol and graph
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOL_FACTORIES))
+@pytest.mark.parametrize("graph_name", ["complete", "regular"])
+class TestExactInvariants:
+    def _graph(self, graph_name, regular_graph, parity_complete_graph):
+        return parity_complete_graph if graph_name == "complete" else regular_graph
+
+    def test_run_invariants_match_scalar_semantics(
+        self, protocol_name, graph_name, regular_graph, parity_complete_graph
+    ):
+        graph = self._graph(graph_name, regular_graph, parity_complete_graph)
+        n = graph.node_count
+        factory = PROTOCOL_FACTORIES[protocol_name]
+        fanout = PROTOCOL_FANOUTS[protocol_name]
+        expected_channels_per_round = sum(
+            min(fanout, graph.degree(v)) for v in graph.iter_nodes()
+        )
+
+        for seed in (1, 2, 3):
+            result = run_with_engine(graph, factory(n), "vectorized", seed=seed)
+            assert result.success, f"{protocol_name} seed {seed} failed"
+            curve = result.informed_curve()
+            assert all(a <= b for a, b in zip(curve, curve[1:]))
+            assert curve[-1] == n
+            # Full phone-call model: channel accounting is exact.
+            assert (
+                result.total_channels_opened
+                == expected_channels_per_round * result.rounds_executed
+            )
+            # Conservation: every informed node (except the source) received
+            # at least one delivered transmission.
+            delivered = result.total_transmissions - result.total_lost_transmissions
+            assert result.final_informed - 1 <= delivered
+
+    def test_scalar_and_vectorized_agree_on_success(
+        self, protocol_name, graph_name, regular_graph, parity_complete_graph
+    ):
+        graph = self._graph(graph_name, regular_graph, parity_complete_graph)
+        n = graph.node_count
+        factory = PROTOCOL_FACTORIES[protocol_name]
+        scalar = run_with_engine(graph, factory(n), "scalar", seed=9)
+        vectorized = run_with_engine(graph, factory(n), "vectorized", seed=9)
+        assert scalar.success == vectorized.success is True
+        assert scalar.final_informed == vectorized.final_informed == n
+
+
+class TestVectorizedDeterminism:
+    def test_same_seed_same_run(self, regular_graph):
+        a = run_with_engine(regular_graph, Algorithm1(n_estimate=256), "vectorized", seed=5)
+        b = run_with_engine(regular_graph, Algorithm1(n_estimate=256), "vectorized", seed=5)
+        assert a.informed_curve() == b.informed_curve()
+        assert a.total_transmissions == b.total_transmissions
+        assert a.rounds_to_completion == b.rounds_to_completion
+
+    def test_different_seeds_usually_differ(self, regular_graph):
+        a = run_with_engine(regular_graph, PushProtocol(n_estimate=256), "vectorized", seed=5)
+        b = run_with_engine(regular_graph, PushProtocol(n_estimate=256), "vectorized", seed=6)
+        assert (
+            a.informed_curve() != b.informed_curve()
+            or a.total_transmissions != b.total_transmissions
+        )
+
+    def test_early_stop_matches_full_schedule_prefix(self, regular_graph):
+        early = run_with_engine(regular_graph, PushProtocol(n_estimate=256), "vectorized", seed=8)
+        full = run_with_engine(
+            regular_graph,
+            PushProtocol(n_estimate=256),
+            "vectorized",
+            seed=8,
+            stop_when_informed=False,
+        )
+        assert early.rounds_to_completion == full.rounds_to_completion
+        assert early.informed_curve() == full.informed_curve()[: early.rounds_executed]
+
+
+class TestAlgorithm1PhaseParity:
+    def test_phase_sums_match_totals_on_both_engines(self, regular_graph):
+        for engine in ("scalar", "vectorized"):
+            result = run_with_engine(
+                regular_graph,
+                Algorithm1(n_estimate=256),
+                engine,
+                seed=13,
+                stop_when_informed=False,
+            )
+            phases = result.transmissions_by_phase()
+            assert sum(phases.values()) == result.total_transmissions
+            # Phase 1: each node pushes at most once over `fanout` channels.
+            assert phases.get("phase1", 0) <= 4 * 256
+            assert phases.get("phase3", 0) > 0
+
+    def test_active_flag_semantics(self, regular_graph):
+        # Phase 4 only re-pushes via nodes informed in phases 3-4; the run
+        # must still complete on the full schedule.
+        result = run_with_engine(
+            regular_graph,
+            Algorithm1(n_estimate=256),
+            "vectorized",
+            seed=21,
+            stop_when_informed=False,
+        )
+        assert result.success
+        assert result.rounds_executed == Algorithm1(n_estimate=256).horizon()
+
+
+# ---------------------------------------------------------------------------
+# Unusual graphs
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedEdgeCases:
+    def test_fanout_larger_than_degree_calls_all_neighbours(self):
+        graph = random_regular_graph(32, 3, RandomSource(seed=3))
+        result = run_with_engine(graph, Algorithm1(n_estimate=32), "vectorized", seed=3)
+        assert result.success
+        for record in result.history:
+            assert record.channels_opened == 3 * 32
+
+    def test_multigraph_with_self_loops(self):
+        graph = pairing_multigraph(128, 6, RandomSource(seed=9))
+        result = run_with_engine(graph, PushPullProtocol(n_estimate=128), "vectorized", seed=9)
+        assert result.final_informed >= 0.9 * 128
+
+    def test_disconnected_graph_never_completes(self):
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        result = run_with_engine(graph, PushPullProtocol(n_estimate=6), "vectorized", seed=2)
+        assert not result.success
+        assert result.final_informed == 3
+
+    def test_star_graph_with_pull(self):
+        star = Graph.from_edges(9, [(0, i) for i in range(1, 9)])
+        result = run_with_engine(star, PushPullProtocol(n_estimate=9), "vectorized", seed=4)
+        assert result.success
+
+    def test_isolated_node_opens_no_channels(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        result = run_with_engine(graph, PushProtocol(n_estimate=3), "vectorized", seed=1)
+        assert not result.success
+        assert result.final_informed == 2
+        # Node 2 has degree 0 and contributes no channels.
+        assert all(record.channels_opened == 2 for record in result.history)
+
+    def test_non_zero_source(self, regular_graph):
+        result = run_with_engine(
+            regular_graph, PushProtocol(n_estimate=256), "vectorized", seed=2
+        )
+        shifted = run_broadcast(
+            regular_graph,
+            PushProtocol(n_estimate=256),
+            source=200,
+            seed=2,
+            config=SimulationConfig(engine="vectorized"),
+        )
+        assert result.success and shifted.success
+        assert shifted.source == 200
+
+
+# ---------------------------------------------------------------------------
+# Failure injection parity
+# ---------------------------------------------------------------------------
+
+
+class TestFailureParity:
+    def test_total_loss_blocks_broadcast_on_both_engines(self, regular_graph):
+        for engine in ("scalar", "vectorized"):
+            result = run_with_engine(
+                regular_graph,
+                PushProtocol(n_estimate=256),
+                engine,
+                seed=9,
+                message_loss_probability=1.0,
+            )
+            assert not result.success
+            assert result.final_informed == 1
+            assert result.total_lost_transmissions == result.total_transmissions > 0
+
+    def test_total_channel_failure_blocks_any_transmission(self, regular_graph):
+        for engine in ("scalar", "vectorized"):
+            result = run_with_engine(
+                regular_graph,
+                PushProtocol(n_estimate=256),
+                engine,
+                seed=9,
+                channel_failure_probability=1.0,
+            )
+            assert not result.success
+            assert result.total_transmissions == 0
+
+    def test_partial_loss_slows_but_completes(self, regular_graph):
+        clean = run_with_engine(regular_graph, PushProtocol(n_estimate=256), "vectorized", seed=9)
+        lossy = run_with_engine(
+            regular_graph,
+            PushProtocol(n_estimate=256),
+            "vectorized",
+            seed=9,
+            message_loss_probability=0.3,
+        )
+        assert lossy.success
+        assert lossy.total_lost_transmissions > 0
+        assert lossy.rounds_to_completion >= clean.rounds_to_completion
+
+
+# ---------------------------------------------------------------------------
+# Statistical parity across seeds
+# ---------------------------------------------------------------------------
+
+
+class TestStatisticalParity:
+    SEEDS = range(40)
+
+    def _mean(self, values):
+        values = list(values)
+        return sum(values) / len(values)
+
+    @pytest.mark.parametrize("protocol_name", sorted(PROTOCOL_FACTORIES))
+    def test_completion_rounds_distribution_matches(self, protocol_name, regular_graph):
+        factory = PROTOCOL_FACTORIES[protocol_name]
+        scalar_rounds = [
+            run_with_engine(regular_graph, factory(256), "scalar", seed=s).rounds_to_completion
+            for s in self.SEEDS
+        ]
+        vector_rounds = [
+            run_with_engine(regular_graph, factory(256), "vectorized", seed=s).rounds_to_completion
+            for s in self.SEEDS
+        ]
+        assert None not in scalar_rounds and None not in vector_rounds
+        scalar_mean = self._mean(scalar_rounds)
+        vector_mean = self._mean(vector_rounds)
+        # Means over 40 seeds agree within 12% of the scalar mean (completion
+        # round distributions at n=256 are tightly concentrated).
+        assert abs(scalar_mean - vector_mean) <= max(1.0, 0.12 * scalar_mean)
+
+    def test_transmission_totals_match_on_full_schedule(self, regular_graph):
+        # On the full schedule the push transmission count is informed-count
+        # driven, so the seed-averaged totals must line up closely.
+        scalar_tx = [
+            run_with_engine(
+                regular_graph, PushProtocol(n_estimate=256), "scalar", seed=s,
+                stop_when_informed=False,
+            ).total_transmissions
+            for s in self.SEEDS
+        ]
+        vector_tx = [
+            run_with_engine(
+                regular_graph, PushProtocol(n_estimate=256), "vectorized", seed=s,
+                stop_when_informed=False,
+            ).total_transmissions
+            for s in self.SEEDS
+        ]
+        assert abs(self._mean(scalar_tx) - self._mean(vector_tx)) <= 0.05 * self._mean(scalar_tx)
+
+
+# ---------------------------------------------------------------------------
+# VectorState unit semantics
+# ---------------------------------------------------------------------------
+
+
+class TestVectorState:
+    def test_initial_state(self):
+        state = VectorState(n=5, source=2)
+        assert state.informed_count == 1
+        assert state.informed[2]
+        assert state.informed_round[2] == 0
+        assert not state.all_informed()
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            VectorState(n=3, source=3)
+
+    def test_commit_round_promotes_pending(self):
+        state = VectorState(n=4, source=0)
+        state.pending[[1, 3]] = True
+        newly = state.commit_round(round_index=7)
+        assert sorted(newly.tolist()) == [1, 3]
+        assert state.informed_count == 3
+        assert state.informed_round[1] == state.informed_round[3] == 7
+        assert not state.pending.any()
+
+    def test_commit_ignores_already_informed(self):
+        state = VectorState(n=3, source=0)
+        state.pending[[0, 1]] = True
+        newly = state.commit_round(round_index=1)
+        assert newly.tolist() == [1]
+        assert state.informed_round[0] == 0
+        assert state.informed_count == 2

@@ -143,6 +143,30 @@ class TestExperimentRunner:
         )
         assert len(results) == 5
 
+    def test_engine_knob_forwards_into_runs(self):
+        scalar_runner = ExperimentRunner(master_seed=1, repetitions=2, engine="scalar")
+        auto_runner = ExperimentRunner(master_seed=1, repetitions=2)
+        scalar_results = scalar_runner.broadcast(
+            64, 4, lambda n: PushProtocol(n_estimate=n), label="t"
+        )
+        auto_results = auto_runner.broadcast(
+            64, 4, lambda n: PushProtocol(n_estimate=n), label="t"
+        )
+        assert all(r.metadata["engine"] == "scalar" for r in scalar_results)
+        assert all(r.metadata["engine"] == "vectorized" for r in auto_results)
+
+    def test_engine_knob_preserves_caller_config(self):
+        runner = ExperimentRunner(master_seed=1, repetitions=1, engine="scalar")
+        results = runner.broadcast(
+            64,
+            4,
+            lambda n: PushProtocol(n_estimate=n),
+            label="t",
+            config=SimulationConfig(collect_round_history=False),
+        )
+        assert results[0].metadata["engine"] == "scalar"
+        assert results[0].history == []
+
     def test_reproducible_across_runner_instances(self):
         first = ExperimentRunner(master_seed=99, repetitions=2)
         second = ExperimentRunner(master_seed=99, repetitions=2)

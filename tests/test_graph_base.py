@@ -138,3 +138,75 @@ class TestConversionsAndCopy:
         assert graph.edge_count == 1
         assert clone.edge_count == 2
         assert graph.neighbors(1) == [0]
+
+
+class TestCSRView:
+    def test_csr_matches_adjacency(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        indptr, indices = graph.csr()
+        for node in range(4):
+            stubs = sorted(indices[indptr[node] : indptr[node + 1]].tolist())
+            assert stubs == sorted(graph.neighbors(node))
+
+    def test_csr_preserves_multiplicity_and_self_loops(self):
+        graph = Graph(range(2))
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 1)
+        indptr, indices = graph.csr()
+        assert indices[indptr[0] : indptr[1]].tolist() == [1, 1]
+        # A self-loop consumes two stubs, exactly as in neighbors().
+        assert sorted(indices[indptr[1] : indptr[2]].tolist()) == [0, 0, 1, 1]
+
+    def test_csr_is_cached_until_mutation(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        first = graph.csr()
+        assert graph.csr() is first
+        graph.add_edge(0, 2)
+        second = graph.csr()
+        assert second is not first
+        assert second[0][-1] == 6
+
+    def test_csr_rejects_non_contiguous_ids(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        graph.remove_node(1)
+        assert not graph.has_contiguous_ids()
+        with pytest.raises(ValueError):
+            graph.csr()
+
+    def test_degree_array_matches_degrees(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (1, 3)])
+        degrees = graph.degree_array()
+        assert degrees.tolist() == [graph.degree(v) for v in range(4)]
+
+    def test_from_edge_array_equivalent_to_from_edges(self):
+        import numpy as np
+
+        edges = [(0, 1), (1, 2), (2, 0), (2, 2), (0, 1)]
+        bulk = Graph.from_edge_array(3, np.array(edges))
+        scalar = Graph.from_edges(3, edges)
+        assert bulk.node_count == scalar.node_count
+        assert bulk.edge_count == scalar.edge_count
+        for node in range(3):
+            assert sorted(bulk.neighbors(node)) == sorted(scalar.neighbors(node))
+
+    def test_from_edge_array_rejects_out_of_range(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            Graph.from_edge_array(2, np.array([(0, 5)]))
+
+    def test_from_edge_array_empty(self):
+        import numpy as np
+
+        graph = Graph.from_edge_array(3, np.empty((0, 2), dtype=np.int64))
+        assert graph.node_count == 3
+        assert graph.edge_count == 0
+
+    def test_from_edge_array_rejects_malformed_shape_even_when_empty(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            Graph.from_edge_array(3, np.empty((0, 7), dtype=np.int64))
+        with pytest.raises(ValueError):
+            Graph.from_edge_array(3, np.empty(0, dtype=np.int64))

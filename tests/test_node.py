@@ -130,6 +130,40 @@ class TestStateTable:
         table.add_node(10)
         assert table.node_ids() == [0, 1, 2, 10]
 
+    def test_remove_node_with_staged_delivery_drops_it_accountably(self):
+        # Regression: a node that departs (churn) while holding a delivery
+        # staged earlier in the same round must neither surface as newly
+        # informed at commit nor vanish without a trace — the dropped staged
+        # delivery is recorded so transmission accounting identities can
+        # reconcile "transmissions sent" against "nodes informed".
+        table = StateTable(n=4, source=0)
+        table[2].deliver(current_round=3)
+        removed = table.remove_node(2)
+        assert table.dropped_pending_deliveries == 1
+        # The staged delivery is cleared on the evicted state: committing it
+        # later (or re-adding the id) must not resurrect the delivery.
+        assert removed.commit_round() is False
+        assert not removed.informed
+        newly = table.commit_round()
+        assert newly == set()
+        assert table.informed_count == 1
+
+    def test_removed_then_readded_node_starts_clean(self):
+        table = StateTable(n=4, source=0)
+        table[1].deliver(current_round=2)
+        table.remove_node(1)
+        fresh = table.add_node(1)
+        assert not fresh.informed
+        assert table.commit_round() == set()
+        assert table.informed_count == 1
+        assert table.dropped_pending_deliveries == 1
+
+    def test_removing_informed_node_does_not_count_as_dropped_delivery(self):
+        table = StateTable(n=3, source=0)
+        table.remove_node(0)
+        assert table.dropped_pending_deliveries == 0
+        assert table.informed_count == 0
+
     def test_source_attribute(self):
         table = StateTable(n=3, source=2)
         assert table.source == 2
