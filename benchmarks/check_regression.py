@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Compare current hot-path timings against the recorded BENCH_micro.json.
+
+Re-measures the micro-benchmark medians (graph generation and one broadcast
+per engine/protocol at n = 4096, plus the 20-seed batched push sweep) and
+fails — exit code 1 — if any of them regressed beyond the tolerance factor
+over its recorded baseline.  Intended for CI: it is a coarse tripwire for
+"someone made the hot path 2× slower", not a precision benchmark, so the
+default tolerance is generous to absorb runner jitter.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--tolerance 2.0]
+
+Baselines are re-recorded by editing BENCH_micro.json (see its "recorded"
+field); do that deliberately whenever an engine's hot path changes shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import SimulationConfig  # noqa: E402
+from repro.core.engine import run_broadcast, run_broadcast_batch  # noqa: E402
+from repro.core.rng import RandomSource  # noqa: E402
+from repro.graphs.configuration_model import random_regular_graph  # noqa: E402
+from repro.protocols.algorithm1 import Algorithm1  # noqa: E402
+from repro.protocols.algorithm2 import Algorithm2  # noqa: E402
+from repro.protocols.push import PushProtocol  # noqa: E402
+from repro.protocols.quasirandom import QuasirandomPushProtocol  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
+N, D = 4096, 8
+SWEEP_SEEDS = list(range(20))
+
+
+def median_ms(fn, repetitions: int = 5) -> float:
+    """Median wall-clock of ``fn`` in milliseconds (first call warms caches)."""
+    fn()
+    samples = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return statistics.median(samples)
+
+
+def measure_current() -> dict:
+    """Re-run every baseline measurement and return name -> median ms."""
+    vector = SimulationConfig(engine="vectorized", collect_round_history=False)
+    graph = random_regular_graph(N, D, RandomSource(seed=2), strategy="repair")
+    graph.csr()
+
+    def broadcast(protocol_factory):
+        return lambda: run_broadcast(graph, protocol_factory(), seed=3, config=vector)
+
+    return {
+        "generate_regular_graph_4096": median_ms(
+            lambda: random_regular_graph(
+                N, D, RandomSource(seed=1), strategy="repair"
+            ),
+            repetitions=3,
+        ),
+        "push_vectorized_4096": median_ms(
+            broadcast(lambda: PushProtocol(n_estimate=N))
+        ),
+        "algorithm1_vectorized_4096": median_ms(
+            broadcast(lambda: Algorithm1(n_estimate=N))
+        ),
+        "algorithm2_vectorized_4096": median_ms(
+            broadcast(lambda: Algorithm2(n_estimate=N))
+        ),
+        "quasirandom_vectorized_4096": median_ms(
+            broadcast(lambda: QuasirandomPushProtocol(n_estimate=N))
+        ),
+        "batched_push_sweep_20x_4096": median_ms(
+            lambda: run_broadcast_batch(
+                graph, PushProtocol(n_estimate=N), SWEEP_SEEDS, config=vector
+            ),
+            repetitions=3,
+        ),
+    }
+
+
+def baseline_map(recorded: dict) -> dict:
+    """Flatten the BENCH_micro.json baselines into name -> ms."""
+    baselines = recorded["baselines_ms"]
+    return {
+        "generate_regular_graph_4096": baselines["generate_regular_graph_4096"],
+        "push_vectorized_4096": baselines["push_broadcast_4096"]["vectorized"],
+        "algorithm1_vectorized_4096": baselines["algorithm1_broadcast_4096"]["vectorized"],
+        "algorithm2_vectorized_4096": baselines["algorithm2_broadcast_4096"]["vectorized"],
+        "quasirandom_vectorized_4096": baselines["quasirandom_broadcast_4096"]["vectorized"],
+        "batched_push_sweep_20x_4096": baselines["batched_push_sweep_20x_4096"]["batched"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline exceeds this factor (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    recorded = json.loads(BASELINE_PATH.read_text())
+    baselines = baseline_map(recorded)
+    current = measure_current()
+
+    width = max(len(name) for name in current)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
+    for name, now in current.items():
+        base = baselines[name]
+        ratio = now / base
+        marker = ""
+        if ratio > args.tolerance:
+            marker = "  << REGRESSION"
+            regressions.append((name, base, now, ratio))
+        print(f"{name:<{width}}  {base:>8.1f}ms  {now:>8.1f}ms  {ratio:5.2f}x{marker}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.tolerance:.1f}x the recorded baseline "
+            f"(recorded {recorded['recorded']}).",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nAll benchmarks within {args.tolerance:.1f}x of the recorded baselines.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

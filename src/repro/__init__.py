@@ -35,9 +35,11 @@ from .core import (
     SimulationError,
     StateTable,
     VectorState,
+    BatchedVectorizedRoundEngine,
     VectorizedRoundEngine,
     aggregate_runs,
     run_broadcast,
+    run_broadcast_batch,
     vectorization_unsupported_reason,
 )
 from .failures import (
@@ -78,8 +80,10 @@ __all__ = [
     "SimulationConfig",
     "RoundEngine",
     "VectorizedRoundEngine",
+    "BatchedVectorizedRoundEngine",
     "vectorization_unsupported_reason",
     "run_broadcast",
+    "run_broadcast_batch",
     "RunResult",
     "RoundRecord",
     "RunAggregate",

@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     simulate.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "run all seeds as one batched vectorized program when eligible "
+            "(bit-identical to per-seed runs; --no-batch forces the per-seed loop)"
+        ),
+    )
+    simulate.add_argument(
         "--save", default=None, help="write the results table to a .json or .csv file"
     )
 
@@ -134,6 +143,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
         n_estimate=args.n,
         seeds=seeds,
         config=config,
+        batch=args.batch,
     )
 
     table = Table(
@@ -153,11 +163,14 @@ def _run_simulate(args: argparse.Namespace) -> int:
             tx_per_node=result.transmissions_per_node,
         )
     aggregate = aggregate_runs(results)
+    engine_note = results[0].metadata.get("engine", "scalar")
+    if "batch_size" in results[0].metadata:
+        engine_note += f", batched x{results[0].metadata['batch_size']}"
     table.add_note(
         f"aggregate over {aggregate.runs} runs: success rate "
         f"{aggregate.success_rate:.2f}, mean rounds {aggregate.rounds.mean:.1f}, "
         f"mean tx/node {aggregate.transmissions_per_node.mean:.2f} "
-        f"[engine: {results[0].metadata.get('engine', 'scalar')}]"
+        f"[engine: {engine_note}]"
     )
     print(table.render())
     if args.save:

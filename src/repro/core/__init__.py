@@ -2,8 +2,9 @@
 
 from .channels import Channel, ChannelSet
 from .config import SimulationConfig
-from .engine import RoundEngine, run_broadcast
+from .engine import RoundEngine, run_broadcast, run_broadcast_batch
 from .engine_vectorized import (
+    BatchedVectorizedRoundEngine,
     VectorizedRoundEngine,
     vectorization_unsupported_reason,
 )
@@ -34,8 +35,10 @@ __all__ = [
     "SimulationConfig",
     "RoundEngine",
     "VectorizedRoundEngine",
+    "BatchedVectorizedRoundEngine",
     "vectorization_unsupported_reason",
     "run_broadcast",
+    "run_broadcast_batch",
     "RoundRecord",
     "RunResult",
     "RunAggregate",

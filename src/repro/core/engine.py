@@ -40,6 +40,7 @@ from ..protocols.base import BroadcastProtocol
 from .channels import ChannelSet
 from .config import SimulationConfig
 from .engine_vectorized import (
+    BatchedVectorizedRoundEngine,
     VectorizedRoundEngine,
     vectorization_unsupported_reason,
 )
@@ -49,7 +50,7 @@ from .node import StateTable
 from .rng import RandomSource
 from .trace import NullTracer, Tracer
 
-__all__ = ["RoundEngine", "run_broadcast"]
+__all__ = ["RoundEngine", "run_broadcast", "run_broadcast_batch"]
 
 
 class RoundEngine:
@@ -116,6 +117,7 @@ class RoundEngine:
             raise SimulationError(f"source node {source} is not in the graph")
 
         n_initial = self.graph.node_count
+        self.protocol.reset()
         states = StateTable(n=n_initial, source=source)
         horizon = self.protocol.horizon()
         if self.config.max_rounds is not None:
@@ -363,3 +365,53 @@ def run_broadcast(
         tracer=tracer,
     )
     return engine.run(source=source)
+
+
+def run_broadcast_batch(
+    graph: Graph,
+    protocol: BroadcastProtocol,
+    seeds,
+    source: int = 0,
+    config: Optional[SimulationConfig] = None,
+    failure_model: Optional[FailureModel] = None,
+) -> list:
+    """Run one broadcast per seed, batched into a single NumPy program.
+
+    The batched engine holds all replications as ``(R, n)`` state arrays and
+    amortises per-round bookkeeping across them; each replication keeps its
+    own generator streams, so every returned :class:`RunResult` is
+    bit-identical to ``run_broadcast(..., seed=seeds[r])`` under the
+    vectorized engine (the batch only adds ``metadata["batch_size"]``).
+
+    One ``protocol`` instance drives all replications (it is reset at the
+    start of the batch).  When the combination cannot be vectorized the
+    function falls back to a per-seed :func:`run_broadcast` loop — unless
+    ``config.engine`` is ``"vectorized"``, in which case it raises like the
+    single-run dispatcher.
+    """
+    cfg = config if config is not None else SimulationConfig()
+    if cfg.engine != "scalar":
+        reason = vectorization_unsupported_reason(
+            graph, protocol, cfg, failure_model, None, None
+        )
+        if reason is None:
+            return BatchedVectorizedRoundEngine(
+                graph=graph,
+                protocol=protocol,
+                seeds=seeds,
+                config=cfg,
+                failure_model=failure_model,
+            ).run(source=source)
+        if cfg.engine == "vectorized":
+            raise SimulationError(f"engine='vectorized' requested but {reason}")
+    return [
+        run_broadcast(
+            graph=graph,
+            protocol=protocol,
+            source=source,
+            seed=seed,
+            config=cfg,
+            failure_model=failure_model,
+        )
+        for seed in seeds
+    ]

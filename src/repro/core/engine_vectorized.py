@@ -19,6 +19,23 @@ bulk operations over the graph's CSR adjacency view:
 There are no per-node Python objects or per-channel Python loops anywhere in
 the hot path, which makes ``n = 10⁶`` broadcasts run in seconds.
 
+Batched replications
+--------------------
+:class:`BatchedVectorizedRoundEngine` runs ``R`` independent replications of
+the same configuration (one seed per replication) over a shared graph in one
+NumPy program, holding the whole ensemble as ``(R, n)`` state arrays.  Each
+replication draws from its own generator pair spawned exactly as the
+single-run engine spawns them (``RandomSource(seed).spawn("protocol")`` /
+``spawn("failures")``), and the per-replication draw *sequences* are kept
+call-for-call identical to a single run, so every row of a batch is
+bit-identical to the corresponding :class:`VectorizedRoundEngine` run.  What
+the batch amortises is everything *around* the draws: state commits, channel
+bookkeeping, delivery scatter, and per-run setup all happen once per round for
+the whole ensemble instead of once per round per seed, which is where a
+Python-level ``for seed in seeds`` loop spends most of its time at moderate
+``n``.  Completed replications (when ``stop_when_informed`` is set) drop out
+of the round loop exactly as a single run would stop, preserving parity.
+
 Dispatch rules
 --------------
 The fast path reproduces the scalar engine's *aggregate* semantics (success,
@@ -37,12 +54,14 @@ when nothing the scalar engine offers beyond aggregates is requested:
 
 :func:`vectorization_unsupported_reason` centralises these checks and returns
 a human-readable reason (or ``None``) so the dispatcher and error messages
-stay in sync.
+stay in sync.  The batched engine accepts exactly the combinations the
+single-run engine accepts (``repro.core.engine.run_broadcast_batch`` owns the
+fallback to a per-seed loop).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,7 +76,11 @@ from .node import VectorState
 from .rng import RandomSource
 from .trace import NullTracer, Tracer
 
-__all__ = ["VectorizedRoundEngine", "vectorization_unsupported_reason"]
+__all__ = [
+    "VectorizedRoundEngine",
+    "BatchedVectorizedRoundEngine",
+    "vectorization_unsupported_reason",
+]
 
 #: Upper bound on random keys materialised per sampling chunk (rows × max
 #: degree); keeps the k-distinct path's peak memory flat on dense graphs.
@@ -94,6 +117,14 @@ def vectorization_unsupported_reason(
             f"protocol {protocol.name!r} overrides on_round_committed without "
             "a bulk counterpart"
         )
+    if (
+        type(protocol).select_call_targets is not BroadcastProtocol.select_call_targets
+        and not protocol.has_custom_vector_targets
+    ):
+        return (
+            f"protocol {protocol.name!r} overrides select_call_targets without "
+            "a bulk counterpart"
+        )
     if tracer is not None and not isinstance(tracer, NullTracer):
         return "a tracer is attached (tracing is per-event)"
     if churn_model is not None and not isinstance(churn_model, NoChurn):
@@ -110,7 +141,148 @@ def vectorization_unsupported_reason(
     return None
 
 
-class VectorizedRoundEngine:
+def _fanout1_offsets(
+    uniforms: np.ndarray, sampler_degrees
+) -> np.ndarray:
+    """Uniform stub offsets from pre-drawn uniforms (``floor(U · d)``).
+
+    A batch of uniforms is ~2× faster to generate than per-element bounded
+    integers and ``floor(U · d)`` is uniform over ``[0, d)`` up to an
+    O(2⁻⁵³) float bias; the clip guards the half-ulp rounding edge where
+    ``U · d`` could land exactly on ``d``.  ``sampler_degrees`` may be a
+    per-sampler array or a scalar (regular graphs).  Both engines draw
+    exactly one ``generator.random(k)`` per (replication, round) and map it
+    through this function, which is what keeps a batch row's stream identical
+    to a single run's.
+    """
+    offsets = (uniforms * sampler_degrees).astype(np.int64)
+    np.minimum(offsets, np.asarray(sampler_degrees) - 1, out=offsets)
+    return offsets
+
+
+def _sample_stub_targets(
+    generator: np.random.Generator,
+    samplers: np.ndarray,
+    fanout: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+    uniform_degree: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Each sampler calls ``min(fanout, degree)`` distinct adjacency stubs.
+
+    Returns flat ``(callers, callees)`` arrays, one entry per channel.
+    Sampling is over adjacency *positions*, so parallel edges weight the
+    draw exactly as the scalar ``select_call_targets`` does.  This is a
+    module-level function (parameterised by the generator) so the single-run
+    and batched engines share one draw sequence per generator by
+    construction.  ``uniform_degree`` short-circuits the per-sampler degree
+    gathers on regular graphs (it never changes the draw sequence).
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if samplers.size == 0 or fanout <= 0:
+        return empty, empty
+
+    if fanout == 1:
+        # Hot path of the standard model: one uniform stub per node.
+        uniforms = generator.random(samplers.size)
+        if uniform_degree is not None:
+            offsets = _fanout1_offsets(uniforms, uniform_degree)
+            return samplers, indices[samplers * uniform_degree + offsets]
+        offsets = _fanout1_offsets(uniforms, degrees[samplers])
+        return samplers, indices[indptr[samplers] + offsets]
+
+    sampler_degrees = degrees[samplers]
+    saturated = sampler_degrees <= fanout
+
+    # Saturated nodes (degree <= fanout) call every neighbour.
+    callers_parts = []
+    callees_parts = []
+    full_nodes = samplers[saturated]
+    if full_nodes.size:
+        lengths = sampler_degrees[saturated]
+        total = int(lengths.sum())
+        starts = np.repeat(indptr[full_nodes], lengths)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        callers_parts.append(np.repeat(full_nodes, lengths))
+        callees_parts.append(indices[starts + within])
+
+    # Remaining nodes draw a uniform k-subset of stubs via random keys:
+    # the k smallest of d iid uniforms index a uniformly random distinct
+    # sample.  Chunked so rows × max-degree stays within a flat budget.
+    deep_nodes = samplers[~saturated]
+    if deep_nodes.size:
+        deep_degrees = sampler_degrees[~saturated]
+        max_degree = int(deep_degrees.max())
+        rows_per_chunk = max(1, _CHUNK_ENTRIES // max_degree)
+        column = np.arange(max_degree, dtype=np.int64)
+        for start in range(0, deep_nodes.size, rows_per_chunk):
+            nodes = deep_nodes[start : start + rows_per_chunk]
+            node_degrees = deep_degrees[start : start + rows_per_chunk]
+            keys = generator.random((nodes.size, max_degree))
+            keys[column[None, :] >= node_degrees[:, None]] = np.inf
+            chosen = np.argpartition(keys, fanout - 1, axis=1)[:, :fanout]
+            positions = indptr[nodes][:, None] + chosen
+            callers_parts.append(np.repeat(nodes, fanout))
+            callees_parts.append(indices[positions.ravel()])
+
+    if not callers_parts:
+        return empty, empty
+    return np.concatenate(callers_parts), np.concatenate(callees_parts)
+
+
+def _resolve_failure_model(
+    config: SimulationConfig, failure_model: Optional[FailureModel]
+) -> FailureModel:
+    """The failure model a run uses: explicit object, config-derived, or none."""
+    if failure_model is not None:
+        return failure_model
+    if config.message_loss_probability > 0 or config.channel_failure_probability > 0:
+        return IndependentLoss(
+            transmission_loss_probability=config.message_loss_probability,
+            channel_failure_probability=config.channel_failure_probability,
+        )
+    return ReliableDelivery()
+
+
+class _BulkEngineBase:
+    """CSR-derived caches and failure unpacking shared by both bulk engines.
+
+    Kept in one place so a fix to channel-cost caching, self-loop detection,
+    or the loss-probability plumbing cannot drift between the single-run and
+    batched engines.  Subclasses call the two ``_init_*`` helpers after
+    setting ``self.failure_model``.
+    """
+
+    def _init_bulk_state(self, graph: Graph) -> None:
+        self._indptr, self._indices = graph.csr()
+        self._degrees = np.diff(self._indptr)
+        # Cached on the graph next to the CSR view, so per-seed loops over
+        # the same graph do not re-derive these O(m) facts per run.
+        self._has_self_loops, self._uniform_degree = graph.csr_stats()
+        self._channel_cost_cache: dict = {}
+
+    def _init_failure_probabilities(self) -> None:
+        if isinstance(self.failure_model, IndependentLoss):
+            self._loss_p = self.failure_model.transmission_loss_probability
+            self._channel_fail_p = self.failure_model.channel_failure_probability
+        else:
+            self._loss_p = 0.0
+            self._channel_fail_p = 0.0
+
+    def _channel_cost(self, fanout: int) -> Tuple[np.ndarray, int]:
+        """``(min(degree, fanout) per node, its sum)``, cached per fanout."""
+        cached = self._channel_cost_cache.get(fanout)
+        if cached is None:
+            cost = np.minimum(self._degrees, fanout)
+            cached = (cost, int(cost.sum()))
+            self._channel_cost_cache[fanout] = cached
+        return cached
+
+
+class VectorizedRoundEngine(_BulkEngineBase):
     """Drives one protocol over one graph with bulk array operations.
 
     Accepts the same parameters as :class:`repro.core.engine.RoundEngine` and
@@ -135,18 +307,7 @@ class VectorizedRoundEngine:
         self.graph = graph
         self.protocol = protocol
         self.config = config if config is not None else SimulationConfig()
-        if failure_model is not None:
-            self.failure_model = failure_model
-        elif (
-            self.config.message_loss_probability > 0
-            or self.config.channel_failure_probability > 0
-        ):
-            self.failure_model = IndependentLoss(
-                transmission_loss_probability=self.config.message_loss_probability,
-                channel_failure_probability=self.config.channel_failure_probability,
-            )
-        else:
-            self.failure_model = ReliableDelivery()
+        self.failure_model = _resolve_failure_model(self.config, failure_model)
         self.churn_model = churn_model if churn_model is not None else NoChurn()
 
         reason = vectorization_unsupported_reason(
@@ -158,15 +319,8 @@ class VectorizedRoundEngine:
         self.rng = RandomSource(seed=seed, name="engine")
         self._protocol_gen = self.rng.spawn("protocol").generator
         self._failure_gen = self.rng.spawn("failures").generator
-        if isinstance(self.failure_model, IndependentLoss):
-            self._loss_p = self.failure_model.transmission_loss_probability
-            self._channel_fail_p = self.failure_model.channel_failure_probability
-        else:
-            self._loss_p = 0.0
-            self._channel_fail_p = 0.0
-
-        self._indptr, self._indices = graph.csr()
-        self._degrees = np.diff(self._indptr)
+        self._init_failure_probabilities()
+        self._init_bulk_state(graph)
 
     # -- public API ---------------------------------------------------------------
 
@@ -176,6 +330,7 @@ class VectorizedRoundEngine:
             raise SimulationError(f"source node {source} is not in the graph")
 
         n = self.graph.node_count
+        self.protocol.reset()
         state = VectorState(n=n, source=source)
         horizon = self.protocol.horizon()
         if self.config.max_rounds is not None:
@@ -206,7 +361,7 @@ class VectorizedRoundEngine:
                 if self.config.stop_when_informed:
                     break
 
-        success = state.all_informed()
+        success = bool(state.all_informed())
         return RunResult(
             n=n,
             protocol=self.protocol.name,
@@ -218,7 +373,7 @@ class VectorizedRoundEngine:
             total_pull_transmissions=totals["pull"],
             total_channels_opened=totals["channels"],
             total_lost_transmissions=totals["lost"],
-            final_informed=state.informed_count,
+            final_informed=int(state.informed_count),
             history=history,
             phase_transmissions=phase_transmissions,
             metadata={
@@ -235,16 +390,23 @@ class VectorizedRoundEngine:
     def _run_round(self, round_index: int, state: VectorState) -> RoundRecord:
         protocol = self.protocol
         degrees = self._degrees
-        informed_before = state.informed_count
+        informed_before = int(state.informed_count)
 
         push_active = protocol.push_round(round_index)
         pull_active = protocol.pull_round(round_index)
         fanout = protocol.vector_fanout(round_index)
 
-        # Every node opens min(fanout, degree) channels per round in the full
-        # phone-call model, whether or not its calls can carry information —
-        # identical to the scalar engine's arithmetic accounting.
-        channels_opened = int(np.minimum(degrees, fanout).sum())
+        # Every calling node opens min(fanout, degree) channels per round in
+        # the full phone-call model, whether or not its calls can carry
+        # information — identical to the scalar engine's arithmetic
+        # accounting.  Protocols whose uninformed nodes stay silent report a
+        # caller mask so the charge matches the scalar per-node fanout of 0.
+        caller_mask = protocol.vector_caller_mask(round_index, state)
+        channel_cost, channel_total = self._channel_cost(fanout)
+        if caller_mask is None:
+            channels_opened = channel_total
+        else:
+            channels_opened = int(channel_cost[caller_mask].sum())
 
         push_mask = protocol.vector_wants_push(round_index, state) if push_active else None
         pull_mask = protocol.vector_wants_pull(round_index, state) if pull_active else None
@@ -259,24 +421,46 @@ class VectorizedRoundEngine:
         else:
             samplers = np.empty(0, dtype=np.int64)
 
-        callers, callees = self._sample_call_targets(samplers, fanout)
+        if protocol.has_custom_vector_targets:
+            if fanout != 1:
+                raise SimulationError(
+                    "custom bulk target selection requires uniform fanout 1"
+                )
+            if samplers.size:
+                callers = samplers
+                callees = protocol.vector_call_targets(
+                    round_index, state, samplers, self._protocol_gen,
+                    self._indptr, self._indices, degrees,
+                )
+            else:
+                callers = callees = np.empty(0, dtype=np.int64)
+        else:
+            callers, callees = self._sample_call_targets(samplers, fanout)
 
         # Self-calls (self-loop stubs) count as opened channels but never
-        # connect; failed channels are unusable for both directions.
-        usable = callers != callees
-        if self._channel_fail_p > 0.0 and callers.size:
-            usable &= self._failure_gen.random(callers.size) >= self._channel_fail_p
-        if not usable.all():
-            callers = callers[usable]
-            callees = callees[usable]
+        # connect; failed channels are unusable for both directions.  On a
+        # self-loop-free graph with reliable channels nothing can be
+        # filtered, so the pass is skipped outright.
+        if self._has_self_loops or self._channel_fail_p > 0.0:
+            usable = callers != callees
+            if self._channel_fail_p > 0.0 and callers.size:
+                usable &= self._failure_gen.random(callers.size) >= self._channel_fail_p
+            if not usable.all():
+                callers = callers[usable]
+                callees = callees[usable]
 
         push_transmissions = 0
         pull_transmissions = 0
         lost_transmissions = 0
 
         if push_active and callers.size:
-            sending = push_mask[callers]
-            receivers = callees[sending]
+            if pull_active:
+                sending = push_mask[callers]
+                receivers = callees[sending]
+            else:
+                # Push-only rounds sample exactly the pushers, so the
+                # push-mask gather would keep every channel.
+                receivers = callees
             push_transmissions = int(receivers.size)
             receivers, lost = self._drop_lost(receivers)
             lost_transmissions += lost
@@ -296,7 +480,7 @@ class VectorizedRoundEngine:
         return RoundRecord(
             round_index=round_index,
             informed_before=informed_before,
-            informed_after=state.informed_count,
+            informed_after=int(state.informed_count),
             push_transmissions=push_transmissions,
             pull_transmissions=pull_transmissions,
             channels_opened=channels_opened,
@@ -319,59 +503,429 @@ class VectorizedRoundEngine:
     def _sample_call_targets(
         self, samplers: np.ndarray, fanout: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Each sampler calls ``min(fanout, degree)`` distinct adjacency stubs.
+        """Uniform stub sampling with this run's protocol generator."""
+        return _sample_stub_targets(
+            self._protocol_gen, samplers, fanout,
+            self._indptr, self._indices, self._degrees,
+            uniform_degree=self._uniform_degree,
+        )
 
-        Returns flat ``(callers, callees)`` arrays, one entry per channel.
-        Sampling is over adjacency *positions*, so parallel edges weight the
-        draw exactly as the scalar ``select_call_targets`` does.
-        """
-        indptr, indices = self._indptr, self._indices
-        degrees = self._degrees
-        empty = np.empty(0, dtype=np.int64)
-        if samplers.size == 0 or fanout <= 0:
-            return empty, empty
 
-        if fanout == 1:
-            # Hot path of the standard model: one uniform stub per node.
-            offsets = self._protocol_gen.integers(0, degrees[samplers])
-            return samplers, indices[indptr[samplers] + offsets]
+class BatchedVectorizedRoundEngine(_BulkEngineBase):
+    """Runs R independent replications of one configuration in lock-step.
 
-        sampler_degrees = degrees[samplers]
-        saturated = sampler_degrees <= fanout
+    Every replication uses its own seed from ``seeds`` (generator streams
+    spawned exactly as :class:`VectorizedRoundEngine` spawns them) and its
+    per-replication draw sequence is kept call-for-call identical to a single
+    run, so each row of the batch is bit-identical to the corresponding
+    single-seed vectorized run.  The whole ensemble's state lives in one
+    ``(R, n)`` :class:`VectorState`; delivery scatter, commits, and channel
+    accounting are performed once per round for all replications together.
 
-        # Saturated nodes (degree <= fanout) call every neighbour.
-        callers_parts = []
-        callees_parts = []
-        full_nodes = samplers[saturated]
-        if full_nodes.size:
-            lengths = sampler_degrees[saturated]
-            total = int(lengths.sum())
-            starts = np.repeat(indptr[full_nodes], lengths)
-            within = np.arange(total, dtype=np.int64) - np.repeat(
-                np.cumsum(lengths) - lengths, lengths
+    One protocol instance drives all replications; it is :meth:`reset` once at
+    the start of the batch, and protocols with per-node state (e.g. the
+    quasirandom pointer table) keep it per replication via the ``row``
+    argument of the bulk hooks.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: BroadcastProtocol,
+        seeds: Sequence[int],
+        config: Optional[SimulationConfig] = None,
+        failure_model: Optional[FailureModel] = None,
+        churn_model: Optional[ChurnModel] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if len(seeds) == 0:
+            raise SimulationError("batched run requires at least one seed")
+        self.graph = graph
+        self.protocol = protocol
+        self.config = config if config is not None else SimulationConfig()
+        self.failure_model = _resolve_failure_model(self.config, failure_model)
+        self.churn_model = churn_model if churn_model is not None else NoChurn()
+        self.seeds = [int(seed) for seed in seeds]
+
+        reason = vectorization_unsupported_reason(
+            graph, protocol, self.config, self.failure_model, self.churn_model, tracer
+        )
+        if reason is not None:
+            raise SimulationError(f"run cannot be vectorized: {reason}")
+
+        # Per-replication streams, spawned with the single-run labels so the
+        # draw sequences line up bit-for-bit with VectorizedRoundEngine.
+        self._protocol_gens = []
+        self._failure_gens = []
+        for seed in self.seeds:
+            rng = RandomSource(seed=seed, name="engine")
+            self._protocol_gens.append(rng.spawn("protocol").generator)
+            self._failure_gens.append(rng.spawn("failures").generator)
+
+        self._init_failure_probabilities()
+        self._init_bulk_state(graph)
+        # Pull rounds sample every node with a neighbour, in every
+        # replication; precompute that sampler set once for the whole batch.
+        self._nz_nodes = np.flatnonzero(self._degrees > 0)
+        self._nz_degrees = self._degrees[self._nz_nodes]
+        self._degree_positive = self._degrees > 0
+        self._all_degrees_positive = bool(self._degree_positive.all())
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, source: int = 0) -> List[RunResult]:
+        """Run all replications; returns one :class:`RunResult` per seed."""
+        if source not in self.graph:
+            raise SimulationError(f"source node {source} is not in the graph")
+
+        n = self.graph.node_count
+        batch = len(self.seeds)
+        self.protocol.reset()
+        state = VectorState(n=n, source=source, batch=batch)
+        horizon = self.protocol.horizon()
+        if self.config.max_rounds is not None:
+            horizon = min(horizon, self.config.max_rounds)
+
+        active = np.ones(batch, dtype=bool)
+        rounds_to_completion = np.full(batch, -1, dtype=np.int64)
+        rounds_executed = np.zeros(batch, dtype=np.int64)
+        totals = {
+            key: np.zeros(batch, dtype=np.int64)
+            for key in ("push", "pull", "channels", "lost")
+        }
+        collect = self.config.collect_round_history
+        histories: List[list] = [[] for _ in range(batch)]
+        phase_transmissions: List[dict] = [{} for _ in range(batch)]
+
+        for round_index in range(1, horizon + 1):
+            active_rows = np.flatnonzero(active)
+            if active_rows.size == 0:
+                break
+            informed_before = np.array(state.informed_count, copy=True)
+            push_tx, pull_tx, channels, lost = self._run_round_batch(
+                round_index, state, active, active_rows
             )
-            callers_parts.append(np.repeat(full_nodes, lengths))
-            callees_parts.append(indices[starts + within])
+            rounds_executed[active] = round_index
+            totals["push"] += push_tx
+            totals["pull"] += pull_tx
+            totals["channels"] += channels
+            totals["lost"] += lost
 
-        # Remaining nodes draw a uniform k-subset of stubs via random keys:
-        # the k smallest of d iid uniforms index a uniformly random distinct
-        # sample.  Chunked so rows × max-degree stays within a flat budget.
-        deep_nodes = samplers[~saturated]
-        if deep_nodes.size:
-            deep_degrees = sampler_degrees[~saturated]
-            max_degree = int(deep_degrees.max())
-            rows_per_chunk = max(1, _CHUNK_ENTRIES // max_degree)
-            column = np.arange(max_degree, dtype=np.int64)
-            for start in range(0, deep_nodes.size, rows_per_chunk):
-                nodes = deep_nodes[start : start + rows_per_chunk]
-                node_degrees = deep_degrees[start : start + rows_per_chunk]
-                keys = self._protocol_gen.random((nodes.size, max_degree))
-                keys[column[None, :] >= node_degrees[:, None]] = np.inf
-                chosen = np.argpartition(keys, fanout - 1, axis=1)[:, :fanout]
-                positions = indptr[nodes][:, None] + chosen
-                callers_parts.append(np.repeat(nodes, fanout))
-                callees_parts.append(indices[positions.ravel()])
+            phase = self.protocol.phase_label(round_index)
+            informed_after = state.informed_count
+            if phase:
+                for row in active_rows:
+                    phase_transmissions[row][phase] = phase_transmissions[row].get(
+                        phase, 0
+                    ) + int(push_tx[row] + pull_tx[row])
+            if collect:
+                for row in active_rows:
+                    histories[row].append(
+                        RoundRecord(
+                            round_index=round_index,
+                            informed_before=int(informed_before[row]),
+                            informed_after=int(informed_after[row]),
+                            push_transmissions=int(push_tx[row]),
+                            pull_transmissions=int(pull_tx[row]),
+                            channels_opened=int(channels[row]),
+                            lost_transmissions=int(lost[row]),
+                            phase=phase,
+                        )
+                    )
 
-        if not callers_parts:
-            return empty, empty
-        return np.concatenate(callers_parts), np.concatenate(callees_parts)
+            done = active & state.all_informed()
+            newly_done = done & (rounds_to_completion < 0)
+            if newly_done.any():
+                rounds_to_completion[newly_done] = round_index
+                if self.config.stop_when_informed:
+                    active &= ~newly_done
+
+        finished = state.all_informed()
+        final_informed = state.informed_count
+        shared_metadata = {
+            "protocol": self.protocol.describe(),
+            "failure_model": self.failure_model.describe(),
+            "churn_model": self.churn_model.describe(),
+            "final_node_count": self.graph.node_count,
+            "engine": "vectorized",
+        }
+        results: List[RunResult] = []
+        for row in range(batch):
+            results.append(
+                RunResult(
+                    n=n,
+                    protocol=self.protocol.name,
+                    source=source,
+                    success=bool(finished[row]),
+                    rounds_executed=int(rounds_executed[row]),
+                    rounds_to_completion=(
+                        int(rounds_to_completion[row])
+                        if rounds_to_completion[row] >= 0
+                        else None
+                    ),
+                    total_push_transmissions=int(totals["push"][row]),
+                    total_pull_transmissions=int(totals["pull"][row]),
+                    total_channels_opened=int(totals["channels"][row]),
+                    total_lost_transmissions=int(totals["lost"][row]),
+                    final_informed=int(final_informed[row]),
+                    history=histories[row],
+                    phase_transmissions=phase_transmissions[row],
+                    metadata={**shared_metadata, "batch_size": batch},
+                )
+            )
+        return results
+
+    # -- round mechanics -------------------------------------------------------------
+
+    def _run_round_batch(
+        self,
+        round_index: int,
+        state: VectorState,
+        active: np.ndarray,
+        active_rows: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One lock-step round; returns per-replication counter arrays."""
+        protocol = self.protocol
+        degrees = self._degrees
+        n = state.n
+        batch = state.batch
+
+        push_active = protocol.push_round(round_index)
+        pull_active = protocol.pull_round(round_index)
+        fanout = protocol.vector_fanout(round_index)
+
+        push_mask = protocol.vector_wants_push(round_index, state) if push_active else None
+        pull_mask = protocol.vector_wants_pull(round_index, state) if pull_active else None
+
+        caller_mask = protocol.vector_caller_mask(round_index, state)
+        channel_cost, channel_total = self._channel_cost(fanout)
+        channels = np.zeros(batch, dtype=np.int64)
+        if caller_mask is None:
+            channels[active_rows] = channel_total
+        else:
+            per_row = (channel_cost[None, :] * caller_mask).sum(axis=1)
+            channels[active_rows] = per_row[active_rows]
+
+        custom = protocol.has_custom_vector_targets
+        if custom and fanout != 1:
+            raise SimulationError(
+                "custom bulk target selection requires uniform fanout 1"
+            )
+
+        # Stage A — per-replication sampling.  Generator draws cannot be
+        # merged across replications (each row owns its stream, and parity
+        # with single runs pins the exact call sequence), so the per-row work
+        # is exactly one draw on the fast path; sampler construction,
+        # offset arithmetic, gathers, filtering, and commit are all batched
+        # over the concatenated channel arrays.  ``cols`` holds caller node
+        # ids, ``bases`` the ``row * n`` flattening offsets, and ``row_of``
+        # the replication of each channel, in ascending-row order throughout
+        # (the per-replication counting and loss draws rely on it).
+        cols = np.empty(0, dtype=np.int64)
+        bases = np.empty(0, dtype=np.int64)
+        callees = np.empty(0, dtype=np.int64)
+        part_rows: List[int] = []
+        part_lengths: List[int] = []
+        if (push_active or pull_active) and fanout > 0:
+            if fanout == 1 and not custom:
+                uniform = self._uniform_degree
+                if pull_active:
+                    # Every node with a neighbour samples, in every active
+                    # replication: the sampler set is one tiled constant.
+                    size = int(self._nz_nodes.size)
+                    if size:
+                        part_rows = active_rows.tolist()
+                        part_lengths = [size] * len(part_rows)
+                        cols = np.tile(self._nz_nodes, active_rows.size)
+                        if uniform is None:
+                            sampler_degrees = np.tile(
+                                self._nz_degrees, active_rows.size
+                            )
+                else:
+                    # Work on the active rows only: when replications have
+                    # completed, the scan shrinks with the live ensemble
+                    # instead of staying O(R·n) until the last straggler.
+                    if active_rows.size == batch:
+                        mask = push_mask
+                        row_ids = None
+                    else:
+                        mask = push_mask[active_rows]
+                        row_ids = active_rows
+                    if not self._all_degrees_positive:
+                        mask = mask & self._degree_positive
+                    flat = np.flatnonzero(mask.ravel())
+                    if flat.size:
+                        live = active_rows.size
+                        row_boundaries = np.arange(live + 1, dtype=np.int64) * n
+                        counts = np.diff(np.searchsorted(flat, row_boundaries))
+                        occupied = np.flatnonzero(counts)
+                        for local in occupied.tolist():
+                            part_rows.append(
+                                local if row_ids is None else int(row_ids[local])
+                            )
+                            part_lengths.append(int(counts[local]))
+                        cols = flat - np.repeat(occupied * n, counts[occupied])
+                if part_rows:
+                    if not pull_active:
+                        bases = np.repeat(
+                            np.asarray(part_rows, dtype=np.int64) * n,
+                            np.asarray(part_lengths, dtype=np.int64),
+                        )
+                        if uniform is None:
+                            sampler_degrees = degrees[cols]
+                    draws = [
+                        self._protocol_gens[row].random(size)
+                        for row, size in zip(part_rows, part_lengths)
+                    ]
+                    uniforms = draws[0] if len(draws) == 1 else np.concatenate(draws)
+                    if uniform is not None:
+                        offsets = _fanout1_offsets(uniforms, uniform)
+                        callees = self._indices[cols * uniform + offsets]
+                    else:
+                        offsets = _fanout1_offsets(uniforms, sampler_degrees)
+                        callees = self._indices[self._indptr[cols] + offsets]
+            else:
+                caller_parts: List[np.ndarray] = []
+                callee_parts: List[np.ndarray] = []
+                for row in active_rows.tolist():
+                    if pull_active:
+                        samplers = self._nz_nodes
+                    else:
+                        samplers = np.flatnonzero(push_mask[row] & self._degree_positive)
+                    if samplers.size == 0:
+                        continue
+                    generator = self._protocol_gens[row]
+                    if custom:
+                        row_callees = protocol.vector_call_targets(
+                            round_index, state, samplers, generator,
+                            self._indptr, self._indices, degrees, row=row,
+                        )
+                        row_callers = samplers
+                    else:
+                        row_callers, row_callees = _sample_stub_targets(
+                            generator, samplers, fanout,
+                            self._indptr, self._indices, degrees,
+                            uniform_degree=self._uniform_degree,
+                        )
+                    caller_parts.append(row_callers)
+                    callee_parts.append(row_callees)
+                    part_rows.append(row)
+                    part_lengths.append(int(row_callers.size))
+                if caller_parts:
+                    cols = np.concatenate(caller_parts)
+                    callees = np.concatenate(callee_parts)
+
+        push_tx = np.zeros(batch, dtype=np.int64)
+        pull_tx = np.zeros(batch, dtype=np.int64)
+        lost = np.zeros(batch, dtype=np.int64)
+
+        if cols.size:
+            row_array = np.asarray(part_rows, dtype=np.int64)
+            length_array = np.asarray(part_lengths, dtype=np.int64)
+            if bases.size != cols.size:
+                bases = np.repeat(row_array * n, length_array)
+            callers_flat = cols + bases
+            callees_flat = callees + bases
+            row_of: Optional[np.ndarray] = None
+            filtered = False
+
+            # Self-calls (self-loop stubs) never connect and failed channels
+            # are unusable in both directions; on a self-loop-free graph with
+            # reliable channels the filter would keep everything, so skip it.
+            if self._has_self_loops or self._channel_fail_p > 0.0:
+                usable = cols != callees
+                if self._channel_fail_p > 0.0:
+                    position = 0
+                    for row, size in zip(part_rows, part_lengths):
+                        usable[position : position + size] &= (
+                            self._failure_gens[row].random(size) >= self._channel_fail_p
+                        )
+                        position += size
+                if not usable.all():
+                    filtered = True
+                    row_of = np.repeat(row_array, length_array)[usable]
+                    callers_flat = callers_flat[usable]
+                    callees_flat = callees_flat[usable]
+
+            delivered_parts: List[np.ndarray] = []
+            if push_active and callers_flat.size:
+                if pull_active:
+                    # In pull rounds everyone samples, so the pushers are the
+                    # subset flagged by the mask …
+                    if row_of is None:
+                        row_of = np.repeat(row_array, length_array)
+                    sending = push_mask.reshape(-1)[callers_flat]
+                    receivers = callees_flat[sending]
+                    receiver_rows = row_of[sending]
+                    push_tx = np.bincount(receiver_rows, minlength=batch)
+                else:
+                    # … while push-only rounds sample exactly the pushers,
+                    # making the mask gather a keep-everything no-op.
+                    receivers = callees_flat
+                    if row_of is None and self._loss_p > 0.0:
+                        row_of = np.repeat(row_array, length_array)
+                    receiver_rows = row_of
+                    if filtered:
+                        push_tx = np.bincount(receiver_rows, minlength=batch)
+                    else:
+                        push_tx[row_array] = length_array
+                receivers, lost_rows = self._drop_lost_rows(receivers, receiver_rows)
+                lost += lost_rows
+                delivered_parts.append(receivers)
+
+            if pull_active and callers_flat.size:
+                if row_of is None:
+                    row_of = np.repeat(row_array, length_array)
+                answering = pull_mask.reshape(-1)[callees_flat]
+                receivers = callers_flat[answering]
+                receiver_rows = row_of[answering]
+                pull_tx = np.bincount(receiver_rows, minlength=batch)
+                receivers, lost_rows = self._drop_lost_rows(receivers, receiver_rows)
+                lost += lost_rows
+                delivered_parts.append(receivers)
+
+            if len(delivered_parts) == 1:
+                delivered = delivered_parts[0]
+            elif delivered_parts:
+                delivered = np.concatenate(delivered_parts)
+            else:
+                delivered = np.empty(0, dtype=np.int64)
+        else:
+            delivered = np.empty(0, dtype=np.int64)
+
+        newly_informed = state.commit_delivered(delivered, round_index)
+        protocol.vector_on_round_committed(round_index, state, newly_informed)
+        return push_tx, pull_tx, channels, lost
+
+    def _drop_lost_rows(
+        self, receivers: np.ndarray, receiver_rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-replication transmission loss over row-grouped flat receivers.
+
+        ``receiver_rows`` (the replication of each receiver) must be
+        non-decreasing — which the row-ordered sampling stage guarantees — so
+        each replication's loss draw matches the single-run ``_drop_lost``
+        call exactly.
+        """
+        batch = len(self.seeds)
+        lost = np.zeros(batch, dtype=np.int64)
+        if self._loss_p <= 0.0 or receivers.size == 0:
+            return receivers, lost
+        bounds = np.searchsorted(receiver_rows, np.arange(batch + 1))
+        kept_parts: List[np.ndarray] = []
+        for row in range(batch):
+            start, end = int(bounds[row]), int(bounds[row + 1])
+            if end == start:
+                continue
+            lost_mask = self._failure_gens[row].random(end - start) < self._loss_p
+            dropped = int(lost_mask.sum())
+            if dropped:
+                lost[row] = dropped
+                kept_parts.append(receivers[start:end][~lost_mask])
+            else:
+                kept_parts.append(receivers[start:end])
+        if kept_parts:
+            receivers = np.concatenate(kept_parts)
+        else:
+            receivers = np.empty(0, dtype=np.int64)
+        return receivers, lost

@@ -215,6 +215,14 @@ class VectorState:
     during a round and only promote at :meth:`commit_round` — so "a node
     cannot forward a message in the round it receives it" holds bit-for-bit.
 
+    With ``batch=R`` every array gains a leading replication axis and the
+    object holds the state of ``R`` *independent* broadcast runs over the same
+    graph as ``(R, n)`` arrays (one row per replication, every row starting
+    from the same source).  Aggregate queries then return per-row arrays
+    instead of scalars.  Protocol bulk hooks are written against elementwise
+    semantics, so the same hook code serves both shapes; hooks that need an
+    explicitly shaped array should use :attr:`shape` rather than ``n``.
+
     Protocol bulk hooks (``vector_wants_push`` etc.) receive this object and
     must treat the arrays as read-only; only the engine and the commit hook
     mutate them.
@@ -222,57 +230,108 @@ class VectorState:
     Attributes
     ----------
     informed:
-        ``bool[n]`` — node currently knows the message.
+        ``bool[n]`` (or ``bool[R, n]``) — node currently knows the message.
     informed_round:
-        ``int64[n]`` — round the node became informed (``0`` for the source,
-        ``-1`` while uninformed).
+        ``int64`` of the same shape — round the node became informed (``0``
+        for the source, ``-1`` while uninformed).
     active:
-        ``bool[n]`` — Algorithm 1's Phase-4 "active" flag.
+        Algorithm 1's Phase-4 "active" flag, same shape.
     pending:
-        ``bool[n]`` — a delivery staged this round, cleared by
-        :meth:`commit_round`.
+        A delivery staged this round, cleared by :meth:`commit_round`.
     """
 
-    __slots__ = ("n", "source", "informed", "informed_round", "active", "pending", "_informed_count")
+    __slots__ = ("n", "source", "batch", "informed", "informed_round", "active", "pending", "_informed_count")
 
-    def __init__(self, n: int, source: int) -> None:
+    def __init__(self, n: int, source: int, batch: Optional[int] = None) -> None:
         if not 0 <= source < n:
             raise ValueError(f"source {source} outside [0, {n})")
+        if batch is not None and batch < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch}")
         self.n = n
         self.source = source
-        self.informed = np.zeros(n, dtype=bool)
-        self.informed_round = np.full(n, -1, dtype=np.int64)
-        self.active = np.zeros(n, dtype=bool)
-        self.pending = np.zeros(n, dtype=bool)
-        self.informed[source] = True
-        self.informed_round[source] = 0
-        self._informed_count = 1
+        self.batch = batch
+        shape = (n,) if batch is None else (batch, n)
+        self.informed = np.zeros(shape, dtype=bool)
+        self.informed_round = np.full(shape, -1, dtype=np.int64)
+        self.active = np.zeros(shape, dtype=bool)
+        self.pending = np.zeros(shape, dtype=bool)
+        self.informed[..., source] = True
+        self.informed_round[..., source] = 0
+        self._informed_count = 1 if batch is None else np.ones(batch, dtype=np.int64)
 
     # -- aggregate queries -----------------------------------------------------
 
     @property
-    def informed_count(self) -> int:
-        """Number of currently informed nodes."""
+    def shape(self):
+        """Shape of the state arrays: ``(n,)`` or ``(R, n)`` for a batch."""
+        return self.informed.shape
+
+    @property
+    def informed_count(self):
+        """Informed nodes: an int, or an ``int64[R]`` array for a batch."""
         return self._informed_count
 
     @property
-    def uninformed_count(self) -> int:
-        """Number of currently uninformed nodes."""
+    def uninformed_count(self):
+        """Uninformed nodes: an int, or an ``int64[R]`` array for a batch."""
         return self.n - self._informed_count
 
-    def all_informed(self) -> bool:
-        """True if every node is informed."""
+    def all_informed(self):
+        """Whether every node is informed (per replication for a batch)."""
         return self._informed_count == self.n
 
     # -- round lifecycle -------------------------------------------------------
 
     def commit_round(self, round_index: int) -> np.ndarray:
-        """Promote all staged deliveries; return the ids newly informed."""
+        """Promote all staged deliveries; return the flat ids newly informed.
+
+        The returned indices address ``informed.reshape(-1)`` — for the
+        unbatched shape they are plain node ids, for a batch they encode
+        ``row * n + node``.  Hooks that flip per-node flags should therefore
+        index through ``array.reshape(-1)`` (a view for these contiguous
+        arrays), which is shape-agnostic.
+        """
         newly_mask = self.pending & ~self.informed
         newly = np.flatnonzero(newly_mask)
         if newly.size:
-            self.informed[newly] = True
-            self.informed_round[newly] = round_index
-            self._informed_count += int(newly.size)
+            self.informed.reshape(-1)[newly] = True
+            self.informed_round.reshape(-1)[newly] = round_index
+            if self.batch is None:
+                self._informed_count += int(newly.size)
+            else:
+                self._informed_count += newly_mask.sum(axis=1)
         self.pending.fill(False)
+        return newly
+
+    def commit_delivered(self, delivered: np.ndarray, round_index: int) -> np.ndarray:
+        """Commit a round's deliveries given directly as flat indices.
+
+        Equivalent to staging ``delivered`` into :attr:`pending` and calling
+        :meth:`commit_round` (same newly-informed set, in the same ascending
+        order) — the batched engine's commit path.  Sparse delivery sets are
+        deduplicated by sorting (``O(k log k)``), dense ones via the pending
+        mask (``O(R·n)``); the crossover keeps the commit cheap both in early
+        rounds (tiny ``k``) and in the endgame (few live replications).
+        """
+        total = self.informed.size
+        if delivered.size * 4 >= total:
+            self.pending.reshape(-1)[delivered] = True
+            return self.commit_round(round_index)
+        flat_informed = self.informed.reshape(-1)
+        newly = delivered[~flat_informed[delivered]]
+        if newly.size == 0:
+            return newly
+        newly = np.sort(newly)
+        if newly.size > 1:
+            keep = np.empty(newly.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(newly[1:], newly[:-1], out=keep[1:])
+            newly = newly[keep]
+        flat_informed[newly] = True
+        self.informed_round.reshape(-1)[newly] = round_index
+        if self.batch is None:
+            self._informed_count += int(newly.size)
+        else:
+            boundaries = np.arange(self.batch + 1, dtype=np.int64) * self.n
+            self._informed_count += np.diff(np.searchsorted(newly, boundaries))
         return newly

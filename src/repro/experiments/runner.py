@@ -6,6 +6,12 @@ the results.  :class:`ExperimentRunner` centralises graph caching (generating
 a 16k-node regular graph is more expensive than broadcasting over it), seeding
 discipline, and repetition so the individual experiment modules stay short and
 declarative.
+
+Multi-seed sweeps dispatch to the batched vectorized engine
+(:func:`repro.core.engine.run_broadcast_batch`) whenever the single-run
+vectorized-eligibility rules hold, which collapses the per-seed Python loop
+into one ``(R, n)`` NumPy program without changing any result bit (each batch
+row is bit-identical to the corresponding per-seed run).
 """
 
 from __future__ import annotations
@@ -14,7 +20,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.config import SimulationConfig
-from ..core.engine import run_broadcast
+from ..core.engine import run_broadcast, run_broadcast_batch
+from ..core.engine_vectorized import vectorization_unsupported_reason
 from ..core.metrics import RunAggregate, RunResult, aggregate_runs
 from ..core.rng import RandomSource, derive_seed
 from ..failures.churn import ChurnModel
@@ -39,15 +46,35 @@ def repeat_broadcast(
     failure_model: Optional[FailureModel] = None,
     churn_factory: Optional[Callable[[], ChurnModel]] = None,
     source: int = 0,
+    batch: bool = True,
 ) -> List[RunResult]:
     """Run the same protocol over the same graph once per seed.
 
-    A fresh protocol instance is built per run (protocols may hold per-run
-    state), and the graph is copied per run when a churn model is supplied
-    because churn mutates it.  Engine selection goes through
-    :func:`run_broadcast`, so sweeps pick up the vectorized fast path
+    Multi-seed sweeps route through :func:`run_broadcast_batch` whenever the
+    vectorized-eligibility rules hold (``batch=False`` disables this), which
+    runs all repetitions as one ``(R, n)`` NumPy program; each returned
+    result is bit-identical to the corresponding per-seed run.  Otherwise a
+    fresh protocol instance is built per run (protocols may hold per-run
+    state), the graph is copied per run when a churn model is supplied
+    because churn mutates it, and engine selection goes through
+    :func:`run_broadcast`, so sweeps still pick up the vectorized fast path
     whenever the protocol and configuration allow it.
     """
+    cfg = config if config is not None else SimulationConfig()
+    if batch and len(seeds) > 1 and churn_factory is None and cfg.engine != "scalar":
+        protocol = protocol_factory(n_estimate)
+        if (
+            vectorization_unsupported_reason(graph, protocol, cfg, failure_model)
+            is None
+        ):
+            return run_broadcast_batch(
+                graph=graph,
+                protocol=protocol,
+                seeds=seeds,
+                source=source,
+                config=cfg,
+                failure_model=failure_model,
+            )
     results: List[RunResult] = []
     for seed in seeds:
         protocol = protocol_factory(n_estimate)
@@ -83,14 +110,25 @@ class ExperimentRunner:
         :class:`SimulationConfig` (``"auto"`` | ``"scalar"`` |
         ``"vectorized"``).  ``"auto"`` leaves any caller-supplied config
         untouched.
+    batch:
+        Whether multi-seed sweeps may run on the batched vectorized engine
+        (bit-identical to the per-seed loop; disable to force one run per
+        engine invocation, e.g. when profiling single runs).
     """
 
     master_seed: int = 2008
     repetitions: int = 5
     engine: str = "auto"
+    batch: bool = True
 
     def __post_init__(self) -> None:
         self._graph_cache: Dict[Tuple[int, int, int], Graph] = {}
+        # Hoisted out of broadcast(): the engine-override config is identical
+        # for every call without a caller config, so build it once instead of
+        # running SimulationConfig.with_overrides per sweep point.
+        self._engine_config = (
+            SimulationConfig(engine=self.engine) if self.engine != "auto" else None
+        )
 
     # -- graphs ---------------------------------------------------------------------
 
@@ -100,7 +138,11 @@ class ExperimentRunner:
         if key not in self._graph_cache:
             seed = derive_seed(self.master_seed, "graph", n, d, instance)
             rng = RandomSource(seed=seed, name=f"graph-{n}-{d}-{instance}")
-            self._graph_cache[key] = connected_random_regular_graph(n, d, rng)
+            graph = connected_random_regular_graph(n, d, rng)
+            # Pre-warm the CSR view while the graph is being cached, so
+            # repeated (batched) runs never pay the adjacency export again.
+            graph.csr()
+            self._graph_cache[key] = graph
         return self._graph_cache[key]
 
     def run_seeds(self, label: str, count: Optional[int] = None) -> List[int]:
@@ -126,8 +168,10 @@ class ExperimentRunner:
         graph = self.regular_graph(n, d)
         seeds = self.run_seeds(f"{label}-{n}-{d}", repetitions)
         if self.engine != "auto":
-            config = (config if config is not None else SimulationConfig()).with_overrides(
-                engine=self.engine
+            config = (
+                self._engine_config
+                if config is None
+                else config.with_overrides(engine=self.engine)
             )
         return repeat_broadcast(
             graph=graph,
@@ -137,6 +181,7 @@ class ExperimentRunner:
             config=config,
             failure_model=failure_model,
             churn_factory=churn_factory,
+            batch=self.batch,
         )
 
     def broadcast_aggregate(

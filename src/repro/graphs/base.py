@@ -33,9 +33,33 @@ class Graph:
         self._adjacency: Dict[int, List[int]] = {node: [] for node in nodes}
         self._edge_count = 0
         self._csr_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # When set, the graph was bulk-constructed and the adjacency dict has
+        # not been materialised yet: node ids are 0.._lazy_n-1 and the CSR
+        # cache is the single source of truth.  Everything the vectorized
+        # engines and generators need (csr, degrees, membership, simplicity
+        # checks) is answered straight from the arrays; the dict-of-lists is
+        # built on first access by a consumer that genuinely needs it.  This
+        # is what keeps million-node graph construction in NumPy time instead
+        # of list-building time.
+        self._lazy_n: Optional[int] = None
+        self._csr_stats: Optional[Tuple[bool, Optional[int]]] = None
 
     def _invalidate_csr(self) -> None:
         self._csr_cache = None
+        self._csr_stats = None
+
+    def _materialise(self) -> None:
+        """Build the adjacency dict of a bulk-constructed graph on demand."""
+        if self._lazy_n is None:
+            return
+        indptr, indices = self._csr_cache
+        stubs = indices.tolist()
+        bounds = indptr.tolist()
+        self._adjacency = {
+            node: stubs[bounds[node] : bounds[node + 1]]
+            for node in range(self._lazy_n)
+        }
+        self._lazy_n = None
 
     # -- construction ----------------------------------------------------------
 
@@ -65,19 +89,19 @@ class Graph:
             return cls(range(n))
         if edges.min() < 0 or edges.max() >= n:
             raise ValueError(f"edge endpoints must lie in [0, {n})")
-        src = np.concatenate([edges[:, 0], edges[:, 1]])
-        dst = np.concatenate([edges[:, 1], edges[:, 0]])
+        # Interleaved stub views: src is the contiguous edge buffer itself,
+        # dst the partner of each stub (one copy instead of two concats).
+        edges = np.ascontiguousarray(edges)
+        src = edges.ravel()
+        dst = edges[:, ::-1].ravel()
         order = np.argsort(src, kind="stable")
         grouped = dst[order]
         counts = np.bincount(src, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        stubs = grouped.tolist()
-        bounds = indptr.tolist()
         graph = cls()
-        graph._adjacency = {
-            node: stubs[bounds[node] : bounds[node + 1]] for node in range(n)
-        }
+        graph._adjacency = {}
+        graph._lazy_n = n
         graph._edge_count = edges.shape[0]
         graph._csr_cache = (indptr, grouped)
         return graph
@@ -93,6 +117,7 @@ class Graph:
 
     def add_node(self, node_id: int) -> None:
         """Add an isolated node (no-op if already present)."""
+        self._materialise()
         if node_id not in self._adjacency:
             self._adjacency[node_id] = []
             self._invalidate_csr()
@@ -104,6 +129,7 @@ class Graph:
         configuration model, so it appears twice in the adjacency list and
         contributes two to the node's degree.
         """
+        self._materialise()
         if u not in self._adjacency or v not in self._adjacency:
             raise KeyError(f"both endpoints must exist before adding edge ({u}, {v})")
         self._adjacency[u].append(v)
@@ -113,6 +139,7 @@ class Graph:
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove one copy of the undirected edge ``(u, v)``."""
+        self._materialise()
         self._adjacency[u].remove(v)
         self._adjacency[v].remove(u)
         self._edge_count -= 1
@@ -120,6 +147,7 @@ class Graph:
 
     def remove_node(self, node_id: int) -> None:
         """Remove a node and all its incident edges."""
+        self._materialise()
         neighbours = self._adjacency.pop(node_id)
         removed = 0
         for other in set(neighbours):
@@ -135,15 +163,19 @@ class Graph:
     # -- queries ---------------------------------------------------------------
 
     def __contains__(self, node_id: int) -> bool:
+        if self._lazy_n is not None:
+            return isinstance(node_id, (int, np.integer)) and 0 <= node_id < self._lazy_n
         return node_id in self._adjacency
 
     def __len__(self) -> int:
+        if self._lazy_n is not None:
+            return self._lazy_n
         return len(self._adjacency)
 
     @property
     def node_count(self) -> int:
         """Number of nodes."""
-        return len(self._adjacency)
+        return len(self)
 
     @property
     def edge_count(self) -> int:
@@ -152,26 +184,40 @@ class Graph:
 
     def nodes(self) -> List[int]:
         """All node ids, sorted."""
+        if self._lazy_n is not None:
+            return list(range(self._lazy_n))
         return sorted(self._adjacency)
 
     def iter_nodes(self) -> Iterator[int]:
         """Iterate node ids in insertion order (cheaper than sorting)."""
+        if self._lazy_n is not None:
+            return iter(range(self._lazy_n))
         return iter(self._adjacency)
 
     def neighbors(self, node_id: int) -> List[int]:
         """The adjacency list of ``node_id`` (with multiplicity); not a copy."""
+        self._materialise()
         return self._adjacency[node_id]
 
     def degree(self, node_id: int) -> int:
         """Degree of ``node_id`` (a self-loop contributes two)."""
+        if self._lazy_n is not None:
+            if not 0 <= node_id < self._lazy_n:
+                raise KeyError(node_id)
+            indptr, _ = self._csr_cache
+            return int(indptr[node_id + 1] - indptr[node_id])
         return len(self._adjacency[node_id])
 
     def degrees(self) -> Dict[int, int]:
         """Mapping of node id to degree."""
+        if self._lazy_n is not None:
+            counts = np.diff(self._csr_cache[0]).tolist()
+            return dict(enumerate(counts))
         return {node: len(adj) for node, adj in self._adjacency.items()}
 
     def edges(self) -> List[Tuple[int, int]]:
         """Every edge once as a ``(min, max)`` pair (with multiplicity)."""
+        self._materialise()
         seen: Dict[Tuple[int, int], int] = {}
         for u, adj in self._adjacency.items():
             for v in adj:
@@ -187,14 +233,33 @@ class Graph:
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if at least one edge joins ``u`` and ``v``."""
+        self._materialise()
         return v in self._adjacency.get(u, ())
+
+    def _stub_owners(self) -> np.ndarray:
+        """The owning node of each CSR stub (lazy graphs only)."""
+        indptr, _ = self._csr_cache
+        return np.repeat(
+            np.arange(self._lazy_n, dtype=np.int64), np.diff(indptr)
+        )
 
     def has_self_loop(self) -> bool:
         """True if any node has an edge to itself."""
+        if self._lazy_n is not None:
+            _, indices = self._csr_cache
+            return bool((indices == self._stub_owners()).any())
         return any(node in adj for node, adj in self._adjacency.items())
 
     def has_parallel_edges(self) -> bool:
         """True if any pair of nodes is joined by more than one edge."""
+        if self._lazy_n is not None:
+            _, indices = self._csr_cache
+            owners = self._stub_owners()
+            non_loop = indices != owners
+            # Owner-major stub keys: duplicates within a node's list land
+            # adjacent after a sort, so one pass finds any parallel edge.
+            keys = np.sort(owners[non_loop] * self._lazy_n + indices[non_loop])
+            return bool((keys[1:] == keys[:-1]).any())
         for node, adj in self._adjacency.items():
             non_loop = [v for v in adj if v != node]
             if len(non_loop) != len(set(non_loop)):
@@ -207,6 +272,9 @@ class Graph:
 
     def is_regular(self) -> bool:
         """True if every node has the same degree."""
+        if self._lazy_n is not None:
+            counts = np.diff(self._csr_cache[0])
+            return bool(counts.size == 0 or (counts == counts[0]).all())
         degrees = {len(adj) for adj in self._adjacency.values()}
         return len(degrees) <= 1
 
@@ -214,6 +282,8 @@ class Graph:
 
     def has_contiguous_ids(self) -> bool:
         """True if the node ids are exactly ``0..n-1`` (CSR requirement)."""
+        if self._lazy_n is not None:
+            return self._lazy_n > 0
         n = len(self._adjacency)
         if n == 0:
             return False
@@ -259,6 +329,31 @@ class Graph:
         indptr, _ = self.csr()
         return np.diff(indptr)
 
+    def csr_stats(self) -> Tuple[bool, Optional[int]]:
+        """``(has_self_loops, uniform_degree)`` for the CSR view, cached with it.
+
+        The engines key their fast paths off these two facts (skip the
+        self-call filter on loop-free graphs, replace per-sampler degree
+        gathers with scalar arithmetic on regular ones).  They are O(m) to
+        derive, so they live here next to the CSR cache — computed once per
+        graph, invalidated together with it on mutation — instead of being
+        recomputed by every engine construction in a per-seed loop.
+        """
+        if self._csr_stats is None:
+            indptr, indices = self.csr()
+            degrees = np.diff(indptr)
+            owners = np.repeat(
+                np.arange(indptr.size - 1, dtype=np.int64), degrees
+            )
+            has_loops = bool((indices == owners).any())
+            uniform = (
+                int(degrees[0])
+                if degrees.size and (degrees == degrees[0]).all()
+                else None
+            )
+            self._csr_stats = (has_loops, uniform)
+        return self._csr_stats
+
     # -- conversions -------------------------------------------------------------
 
     def to_networkx(self) -> "nx.Graph":
@@ -280,6 +375,14 @@ class Graph:
     def copy(self) -> "Graph":
         """A deep copy of the graph."""
         clone = Graph()
-        clone._adjacency = {node: list(adj) for node, adj in self._adjacency.items()}
+        if self._lazy_n is not None:
+            # Share the immutable CSR arrays; the clone materialises its own
+            # adjacency lists the moment anything mutates or reads them.
+            clone._lazy_n = self._lazy_n
+            clone._csr_cache = self._csr_cache
+        else:
+            clone._adjacency = {
+                node: list(adj) for node, adj in self._adjacency.items()
+            }
         clone._edge_count = self._edge_count
         return clone

@@ -135,18 +135,20 @@ class Algorithm1(BroadcastProtocol):
             return state.informed & (
                 state.active | (state.informed_round == round_index - 1)
             )
-        return np.zeros(state.n, dtype=bool)
+        return np.zeros(state.shape, dtype=bool)
 
     def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
         if self.schedule.phase_of(round_index) == 3:
             return state.informed
-        return np.zeros(state.n, dtype=bool)
+        return np.zeros(state.shape, dtype=bool)
 
     def vector_on_round_committed(
         self, round_index: int, state: VectorState, newly_informed: np.ndarray
     ) -> None:
         if self.schedule.phase_of(round_index) >= 3 and newly_informed.size:
-            state.active[newly_informed] = True
+            # newly_informed holds flat indices (row-major for a batch), so
+            # flip the flag through the flattened view.
+            state.active.reshape(-1)[newly_informed] = True
 
     # -- lifecycle -----------------------------------------------------------------
 

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from ..core.errors import ConfigurationError
-from ..core.node import NodeState
+from ..core.node import NodeState, VectorState
 from .base import BroadcastProtocol
 from .schedule import PhaseSchedule, algorithm2_schedule
 
@@ -29,6 +31,7 @@ class Algorithm2(BroadcastProtocol):
     """
 
     name = "algorithm2"
+    supports_vectorized = True
 
     def __init__(
         self,
@@ -81,6 +84,28 @@ class Algorithm2(BroadcastProtocol):
 
     def wants_pull(self, state: NodeState, round_index: int) -> bool:
         return state.informed and self.schedule.phase_of(round_index) == 3
+
+    # -- bulk hooks -----------------------------------------------------------------
+
+    def vector_fanout(self, round_index: int) -> int:
+        return self._fanout
+
+    def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
+        phase = self.schedule.phase_of(round_index)
+        if phase == 1:
+            return state.informed & (state.informed_round == round_index - 1)
+        if phase == 2:
+            return state.informed
+        return np.zeros(state.shape, dtype=bool)
+
+    def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
+        # The pull tail: every informed node answers all incoming calls, so
+        # the mask covers the informed set and the engine's many-to-one pull
+        # accounting (one transmission per caller whose callee answers) does
+        # the rest in bulk.
+        if self.schedule.phase_of(round_index) == 3:
+            return state.informed
+        return np.zeros(state.shape, dtype=bool)
 
     def describe(self) -> dict:
         description = super().describe()

@@ -50,8 +50,10 @@ class BroadcastProtocol(ABC):
     #: this True promises that (a) the three ``vector_*`` decision hooks below
     #: are implemented and agree node-for-node with ``fanout`` / ``wants_push``
     #: / ``wants_pull``, (b) its fanout is uniform across nodes within a
-    #: round, (c) it needs neither the contact-memory mechanism
-    #: (``memory_window == 0``) nor a custom ``select_call_targets``, and
+    #: round, (c) it does not use the contact-memory mechanism
+    #: (``memory_window == 0``), and a custom ``select_call_targets`` has a
+    #: ``vector_call_targets`` counterpart (flagged via
+    #: ``has_custom_vector_targets``), and
     #: (d) it relies on none of the :class:`StateTable`-based lifecycle hooks
     #: the bulk engine never calls: ``on_round_start`` and ``finished`` must
     #: keep their defaults, and an ``on_round_committed`` override needs a
@@ -137,6 +139,50 @@ class BroadcastProtocol(ABC):
 
     # -- bulk (vectorized) hooks ------------------------------------------------
 
+    def vector_caller_mask(self, round_index: int, state: VectorState) -> Optional[np.ndarray]:
+        """Mask of nodes that open channels during ``round_index``, or ``None``.
+
+        ``None`` (the default) means every node opens ``min(fanout, degree)``
+        channels, which is the full phone-call model and what the engines'
+        arithmetic channel accounting assumes.  Protocols whose *uninformed*
+        nodes stay silent (scalar ``fanout`` returns 0 for them — e.g. the
+        quasirandom protocol) return the mask of calling nodes instead so the
+        bulk engines charge channels identically to the scalar engine.
+        """
+        return None
+
+    def vector_call_targets(
+        self,
+        round_index: int,
+        state: VectorState,
+        samplers: np.ndarray,
+        generator: np.random.Generator,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        degrees: np.ndarray,
+        row: Optional[int] = None,
+    ) -> np.ndarray:
+        """Bulk counterpart of a custom :meth:`select_call_targets` (fanout 1).
+
+        Protocols whose neighbour choice is not a uniform stub draw (e.g. the
+        quasirandom cyclic-list pointer) override this to return, for each
+        node in ``samplers``, the callee node id.  The engine provides the
+        graph's CSR view (``indices[indptr[v]:indptr[v+1]]`` lists ``v``'s
+        stubs in :meth:`repro.graphs.base.Graph.neighbors` order) and the
+        per-replication ``generator`` for any randomness; ``row`` is the
+        replication index when running under the batched engine (``None`` for
+        a single run) so per-node protocol state can be kept per replication.
+        Only consulted when :attr:`has_custom_vector_targets` is True, and
+        only for protocols with uniform fanout 1.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the bulk target hook"
+        )
+
+    #: True if the protocol overrides :meth:`vector_call_targets`; cheap class
+    #: check so engines skip the hook entirely in the common uniform case.
+    has_custom_vector_targets: bool = False
+
     def vector_fanout(self, round_index: int) -> int:
         """Uniform per-node fanout for ``round_index`` (bulk engine only).
 
@@ -170,6 +216,17 @@ class BroadcastProtocol(ABC):
         """Bulk counterpart of :meth:`on_round_committed` (ids as an array)."""
 
     # -- lifecycle hooks -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all per-run state so the instance can drive a fresh run.
+
+        Every engine calls this once before round 1, so a protocol instance
+        reused across runs (or across the replications of a batched run)
+        starts each broadcast from a clean slate.  Protocols that accumulate
+        per-run state outside the engine-owned node state — e.g. the
+        quasirandom pointer table — must override this and clear it; stateless
+        protocols inherit the no-op.
+        """
 
     def on_round_start(self, round_index: int, states: StateTable) -> None:
         """Called before any channel is opened in ``round_index``."""

@@ -71,7 +71,7 @@ class PullProtocol(BroadcastProtocol, OptionalHorizonMixin):
         return self._fanout
 
     def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
-        return np.zeros(state.n, dtype=bool)
+        return np.zeros(state.shape, dtype=bool)
 
     def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
         return state.informed

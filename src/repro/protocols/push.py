@@ -88,7 +88,7 @@ class PushProtocol(BroadcastProtocol, OptionalHorizonMixin):
         return state.informed
 
     def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
-        return np.zeros(state.n, dtype=bool)
+        return np.zeros(state.shape, dtype=bool)
 
     def describe(self) -> dict:
         description = super().describe()

@@ -8,6 +8,12 @@ al. show ``O(log n)`` broadcast time on hypercubes and random graphs, making
 this a natural deterministic-ish comparison point for the phase-structured
 algorithm: it also avoids re-calling recent partners, but via list order
 rather than memory or multiple simultaneous choices.
+
+The protocol's only randomness is one starting offset per node, which makes
+it a natural bulk-array candidate: the per-node cursor lives in an integer
+pointer table shaped like the engine state (``(n,)`` for a single run,
+``(R, n)`` for a batch), advanced by a vectorized gather into the CSR
+adjacency ``indices``.  The scalar engine keeps the original per-node dict.
 """
 
 from __future__ import annotations
@@ -15,8 +21,10 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..core.errors import ConfigurationError
-from ..core.node import NodeState
+from ..core.node import NodeState, VectorState
 from ..core.rng import RandomSource
 from .base import BroadcastProtocol, OptionalHorizonMixin
 
@@ -27,6 +35,8 @@ class QuasirandomPushProtocol(BroadcastProtocol, OptionalHorizonMixin):
     """Quasirandom push: random starting point, then deterministic list order."""
 
     name = "quasirandom-push"
+    supports_vectorized = True
+    has_custom_vector_targets = True
 
     def __init__(
         self,
@@ -42,8 +52,16 @@ class QuasirandomPushProtocol(BroadcastProtocol, OptionalHorizonMixin):
         default = math.ceil(horizon_factor * math.log2(n_estimate))
         self._horizon = self.resolve_horizon(default, horizon_override)
         # Per-node pointer into the neighbour list; created lazily when the
-        # node first selects a target after becoming informed.
+        # node first selects a target after becoming informed.  The scalar
+        # engine uses the dict, the bulk engines the array table (shaped like
+        # the engine state, -1 marking "not started yet").  Both are per-run
+        # state and are dropped by reset().
         self._pointers: Dict[int, int] = {}
+        self._pointer_table: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._pointers = {}
+        self._pointer_table = None
 
     def horizon(self) -> int:
         return self._horizon
@@ -80,6 +98,53 @@ class QuasirandomPushProtocol(BroadcastProtocol, OptionalHorizonMixin):
         target = neighbours[pointer % len(neighbours)]
         self._pointers[node_id] = pointer + 1
         return [target]
+
+    # -- bulk hooks -----------------------------------------------------------
+
+    def vector_fanout(self, round_index: int) -> int:
+        return 1
+
+    def vector_caller_mask(self, round_index: int, state: VectorState) -> np.ndarray:
+        # Uninformed nodes have fanout 0 in the scalar model, so they must
+        # not be charged channels by the bulk engines either.
+        return state.informed
+
+    def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
+        return state.informed
+
+    def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
+        return np.zeros(state.shape, dtype=bool)
+
+    def vector_call_targets(
+        self,
+        round_index: int,
+        state: VectorState,
+        samplers: np.ndarray,
+        generator: np.random.Generator,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        degrees: np.ndarray,
+        row: Optional[int] = None,
+    ) -> np.ndarray:
+        """Advance each sampler's cursor and gather its CSR list entry.
+
+        Nodes sampling for the first time draw a uniform starting offset in
+        one batched ``integers`` call; everyone else follows the cyclic list
+        deterministically, so a round costs a couple of gathers regardless of
+        how many nodes are pushing.
+        """
+        table = self._pointer_table
+        if table is None or table.shape != state.shape:
+            table = np.full(state.shape, -1, dtype=np.int64)
+            self._pointer_table = table
+        cursors = table if row is None else table[row]
+        sampler_degrees = degrees[samplers]
+        pointers = cursors[samplers]
+        fresh = pointers < 0
+        if fresh.any():
+            pointers[fresh] = generator.integers(0, sampler_degrees[fresh])
+        cursors[samplers] = pointers + 1
+        return indices[indptr[samplers] + pointers % sampler_degrees]
 
     def describe(self) -> dict:
         description = super().describe()

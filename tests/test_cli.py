@@ -28,6 +28,11 @@ class TestParser:
         assert args.experiment_id == "E1"
         assert args.full is True
 
+    def test_simulate_batch_flag(self):
+        assert build_parser().parse_args(["simulate"]).batch is True
+        assert build_parser().parse_args(["simulate", "--no-batch"]).batch is False
+        assert build_parser().parse_args(["simulate", "--batch"]).batch is True
+
 
 class TestCommands:
     def test_list_protocols(self, capsys):
@@ -59,6 +64,17 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "push" in output
         assert "aggregate over 2 runs" in output
+        assert "batched x2" in output
+
+    def test_simulate_no_batch_runs_per_seed(self, capsys):
+        exit_code = main(
+            ["simulate", "--n", "128", "--d", "6", "--protocol", "push",
+             "--seeds", "2", "--no-batch"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "aggregate over 2 runs" in output
+        assert "batched" not in output
 
     def test_simulate_with_loss_and_full_schedule(self, capsys):
         exit_code = main(

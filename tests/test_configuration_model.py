@@ -125,3 +125,39 @@ class TestConnectedRandomRegularGraph:
         graph = connected_random_regular_graph(100, 6, RandomSource(seed=4))
         assert graph.is_simple()
         assert all(degree == 6 for degree in graph.degrees().values())
+
+
+class TestVectorizedRepair:
+    """The array-based repair pass: stress beyond the tiny fixtures."""
+
+    def test_repairs_dense_pairing_to_simple(self):
+        rng = RandomSource(seed=11)
+        graph = random_regular_graph(256, 12, rng, strategy="repair")
+        assert graph.is_simple()
+        assert all(degree == 12 for degree in graph.degrees().values())
+
+    def test_many_bad_edges_converge(self):
+        # A pathological multiset: several loops and duplicate clusters.
+        edges = np.array(
+            [[0, 0], [1, 1], [2, 3], [2, 3], [2, 3], [4, 5], [4, 5], [6, 7],
+             [8, 9], [10, 11], [12, 13], [14, 15], [0, 2], [1, 3]]
+        )
+        before = np.bincount(edges.flatten(), minlength=16)
+        repaired = repair_to_simple(edges, RandomSource(seed=3))
+        after = np.bincount(repaired.flatten(), minlength=16)
+        assert np.array_equal(before, after)
+        assert all(u != v for u, v in repaired)
+        keys = {tuple(sorted(edge)) for edge in repaired.tolist()}
+        assert len(keys) == len(repaired)
+
+    def test_repair_deterministic_for_same_seed(self):
+        edges = np.array([[0, 0], [1, 2], [1, 2], [3, 4], [5, 6], [0, 3]])
+        one = repair_to_simple(edges, RandomSource(seed=5))
+        two = repair_to_simple(edges, RandomSource(seed=5))
+        assert np.array_equal(one, two)
+
+    def test_input_array_is_not_mutated(self):
+        edges = np.array([[0, 0], [1, 2], [3, 4], [5, 6]])
+        snapshot = edges.copy()
+        repair_to_simple(edges, RandomSource(seed=1))
+        assert np.array_equal(edges, snapshot)

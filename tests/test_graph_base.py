@@ -210,3 +210,72 @@ class TestCSRView:
             Graph.from_edge_array(3, np.empty((0, 7), dtype=np.int64))
         with pytest.raises(ValueError):
             Graph.from_edge_array(3, np.empty(0, dtype=np.int64))
+
+
+class TestLazyAdjacency:
+    """Bulk-constructed graphs answer array queries without building lists."""
+
+    def _lazy_graph(self):
+        import numpy as np
+
+        return Graph.from_edge_array(
+            4, np.array([(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)])
+        )
+
+    def test_bulk_construction_defers_adjacency(self):
+        graph = self._lazy_graph()
+        assert graph._lazy_n == 4
+        # Array-backed queries must not materialise the dict.
+        assert graph.node_count == 4
+        assert len(graph) == 4
+        assert 3 in graph and 4 not in graph
+        assert graph.nodes() == [0, 1, 2, 3]
+        assert list(graph.iter_nodes()) == [0, 1, 2, 3]
+        assert graph.degree(1) == 4  # self-loop counts twice
+        assert graph.degrees() == {0: 2, 1: 4, 2: 2, 3: 2}
+        assert graph.has_contiguous_ids()
+        assert graph.has_self_loop()
+        assert not graph.has_parallel_edges()
+        assert not graph.is_simple()
+        assert not graph.is_regular()
+        assert graph._lazy_n == 4
+
+    def test_neighbors_materialises_and_matches_scalar_construction(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)]
+        import numpy as np
+
+        lazy = Graph.from_edge_array(4, np.array(edges))
+        scalar = Graph.from_edges(4, edges)
+        for node in range(4):
+            assert sorted(lazy.neighbors(node)) == sorted(scalar.neighbors(node))
+        assert lazy._lazy_n is None
+
+    def test_mutation_materialises_first(self):
+        graph = self._lazy_graph()
+        graph.add_edge(0, 2)
+        assert graph._lazy_n is None
+        assert graph.edge_count == 6
+        assert graph.has_edge(0, 2)
+
+    def test_lazy_copy_is_independent(self):
+        graph = self._lazy_graph()
+        clone = graph.copy()
+        clone.add_edge(0, 2)
+        assert clone.edge_count == graph.edge_count + 1
+        assert not graph.has_edge(0, 2)
+        assert sorted(graph.neighbors(0)) == [1, 3]
+
+    def test_lazy_parallel_edge_detection(self):
+        import numpy as np
+
+        graph = Graph.from_edge_array(3, np.array([(0, 1), (0, 1), (1, 2)]))
+        assert graph.has_parallel_edges()
+        assert not graph.has_self_loop()
+        assert graph.is_regular() is False
+
+    def test_lazy_regularity(self):
+        import numpy as np
+
+        ring = Graph.from_edge_array(4, np.array([(0, 1), (1, 2), (2, 3), (3, 0)]))
+        assert ring.is_regular()
+        assert ring.is_simple()

@@ -117,3 +117,72 @@ class TestAlgorithm2Schedule:
     def test_invalid_alpha(self):
         with pytest.raises(ConfigurationError):
             algorithm2_schedule(1024, -1.0)
+
+
+BOUNDARY_CASES = [
+    # (n_estimate, alpha) — chosen to land the ⌈·⌉ arguments both on and off
+    # integer values, including the degenerate estimates the guards clamp.
+    (2, 1.0),
+    (4, 1.0),
+    (16, 1.0),
+    (256, 1.0),
+    (1024, 1.0),
+    (1024, 0.5),
+    (4096, 1.0),
+    (4096, 1.5),
+    (65536, 1.0),
+    (65536, 2.0),
+    (10**6, 1.0),
+]
+
+
+class TestAlgorithm2PhaseBoundaries:
+    """The phase-2→3 transition and the ⌈α·log n + 2α·log log n⌉ end point.
+
+    These are exactly the boundaries Algorithm 2's push/pull gating keys off,
+    so an off-by-one here silently turns a pull-tail round into a dead round.
+    """
+
+    @pytest.mark.parametrize("n_estimate,alpha", BOUNDARY_CASES)
+    def test_phase2_to_phase3_transition(self, n_estimate, alpha):
+        schedule = algorithm2_schedule(n_estimate, alpha)
+        if schedule.phase2_end >= 1:
+            assert schedule.phase_of(schedule.phase2_end) in (1, 2)
+        assert schedule.phase_of(schedule.phase2_end + 1) == 3
+        assert schedule.phase_of(schedule.phase3_end) == 3
+
+    @pytest.mark.parametrize("n_estimate,alpha", BOUNDARY_CASES)
+    def test_phase3_end_matches_paper_formula(self, n_estimate, alpha):
+        schedule = algorithm2_schedule(n_estimate, alpha)
+        log_n = log2_estimate(n_estimate)
+        loglog_n = loglog_estimate(n_estimate)
+        paper_end = math.ceil(alpha * log_n + 2 * alpha * loglog_n)
+        # The paper's end point, except the pull tail is never empty: when
+        # ⌈α·log n + 2α·log log n⌉ collapses onto phase 2 (tiny estimates),
+        # the schedule still grants one pull round.
+        assert schedule.phase3_end == max(schedule.phase2_end + 1, paper_end)
+        assert schedule.phase3_end >= schedule.phase2_end + 1
+        assert schedule.horizon == schedule.phase3_end
+
+    @pytest.mark.parametrize("n_estimate,alpha", BOUNDARY_CASES)
+    def test_pull_tail_is_never_longer_than_formula_plus_guard(self, n_estimate, alpha):
+        schedule = algorithm2_schedule(n_estimate, alpha)
+        loglog_n = loglog_estimate(n_estimate)
+        pull_rounds = schedule.phase3_end - schedule.phase2_end
+        # α·log log n rounds up to the two ceilings' slack, at least 1.
+        assert 1 <= pull_rounds <= math.ceil(alpha * loglog_n) + 2
+
+    @pytest.mark.parametrize("n_estimate,alpha", [(1024, 1.0), (65536, 2.0), (4096, 1.5)])
+    def test_protocol_gating_flips_exactly_at_the_boundary(self, n_estimate, alpha):
+        from repro.protocols.algorithm2 import Algorithm2
+
+        protocol = Algorithm2(n_estimate=n_estimate, alpha=alpha)
+        schedule = protocol.schedule
+        boundary = schedule.phase2_end
+        assert protocol.push_round(boundary)
+        assert not protocol.pull_round(boundary)
+        assert not protocol.push_round(boundary + 1)
+        assert protocol.pull_round(boundary + 1)
+        assert protocol.pull_round(schedule.phase3_end)
+        with pytest.raises(ConfigurationError):
+            protocol.pull_round(schedule.phase3_end + 1)
