@@ -15,7 +15,7 @@ import pytest
 from repro.core.config import SimulationConfig
 from repro.core.engine import run_broadcast
 from repro.core.rng import RandomSource
-from repro.graphs.configuration_model import random_regular_graph
+from repro.graphs.configuration_model import pairing_multigraph, random_regular_graph
 from repro.protocols.algorithm1 import Algorithm1
 from repro.protocols.push import PushProtocol
 
@@ -27,6 +27,20 @@ def test_generate_regular_graph_4096(benchmark):
         lambda: random_regular_graph(4096, 8, RandomSource(seed=1), strategy="repair")
     )
     assert result.node_count == 4096
+
+
+@pytest.mark.perf
+def test_pairing_multigraph_million_nodes(benchmark):
+    """The raw pairing draw at n = 10^6 (direct permutation-inverse CSR build).
+
+    This is the construction path of the million-node broadcast benches; the
+    build avoids the O(m log m) stable argsort over the 2m stubs entirely
+    (see ``pairing_multigraph``) and is asserted bit-identical to the
+    edge-array build in tests/test_configuration_model.py.
+    """
+    result = benchmark(lambda: pairing_multigraph(1_000_000, 8, RandomSource(seed=1)))
+    assert result.node_count == 1_000_000
+    assert result.edge_count == 4_000_000
 
 
 @pytest.mark.parametrize("engine", ENGINES)

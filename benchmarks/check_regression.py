@@ -31,7 +31,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.config import SimulationConfig  # noqa: E402
 from repro.core.engine import run_broadcast, run_broadcast_batch  # noqa: E402
 from repro.core.rng import RandomSource  # noqa: E402
-from repro.graphs.configuration_model import random_regular_graph  # noqa: E402
+from repro.graphs.configuration_model import (  # noqa: E402
+    pairing_multigraph,
+    random_regular_graph,
+)
 from repro.protocols.algorithm1 import Algorithm1  # noqa: E402
 from repro.protocols.algorithm2 import Algorithm2  # noqa: E402
 from repro.protocols.push import PushProtocol  # noqa: E402
@@ -69,6 +72,10 @@ def measure_current() -> dict:
             ),
             repetitions=3,
         ),
+        "pairing_multigraph_1e6_d8": median_ms(
+            lambda: pairing_multigraph(1_000_000, 8, RandomSource(seed=1)),
+            repetitions=3,
+        ),
         "push_vectorized_4096": median_ms(
             broadcast(lambda: PushProtocol(n_estimate=N))
         ),
@@ -95,6 +102,7 @@ def baseline_map(recorded: dict) -> dict:
     baselines = recorded["baselines_ms"]
     return {
         "generate_regular_graph_4096": baselines["generate_regular_graph_4096"],
+        "pairing_multigraph_1e6_d8": baselines["pairing_multigraph_1e6_d8"]["ms"],
         "push_vectorized_4096": baselines["push_broadcast_4096"]["vectorized"],
         "algorithm1_vectorized_4096": baselines["algorithm1_broadcast_4096"]["vectorized"],
         "algorithm2_vectorized_4096": baselines["algorithm2_broadcast_4096"]["vectorized"],

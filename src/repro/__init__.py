@@ -48,9 +48,13 @@ from .failures import (
     NoChurn,
     ReliableDelivery,
     UniformChurn,
+    available_failure_models,
+    build_failure_model,
 )
 from .graphs import (
     Graph,
+    available_graph_families,
+    build_graph,
     complete_graph,
     connected_random_regular_graph,
     gnp_graph,
@@ -70,8 +74,21 @@ from .protocols import (
     available_protocols,
     build_protocol,
 )
+from .spec import (
+    FailureSpec,
+    GraphSpec,
+    PointRun,
+    ProtocolSpec,
+    ScenarioRun,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    load_spec,
+    run_spec,
+    save_spec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -120,4 +137,21 @@ __all__ = [
     "UniformChurn",
     "NoChurn",
     "EstimateError",
+    "build_failure_model",
+    "available_failure_models",
+    # graph/failure registries
+    "build_graph",
+    "available_graph_families",
+    # scenario specs
+    "ScenarioSpec",
+    "GraphSpec",
+    "ProtocolSpec",
+    "FailureSpec",
+    "SweepSpec",
+    "SweepAxis",
+    "ScenarioRun",
+    "PointRun",
+    "run_spec",
+    "load_spec",
+    "save_spec",
 ]

@@ -1,12 +1,19 @@
 """Command-line interface.
 
-Three sub-commands cover the common workflows:
+The sub-commands cover the common workflows:
 
 * ``repro-broadcast simulate`` — one broadcast configuration, printed as a
-  small table (per-seed results plus the aggregate).
+  small table (per-seed results plus the aggregate).  Internally the flags
+  are assembled into a :class:`ScenarioSpec`; ``--dump-spec`` prints that
+  spec as JSON instead of running, so every invocation can emit the exact
+  record that reproduces it.
+* ``repro-broadcast run-spec <file.json>`` — execute a scenario spec file
+  (single point or full sweep grid) and print the summary table.
 * ``repro-broadcast experiment <id>`` — run one of the registered experiments
-  (E1–E12) and print its table.
-* ``repro-broadcast list-protocols`` / ``list-experiments`` — discovery.
+  (E1–E13) and print its table.
+* ``repro-broadcast list-protocols`` / ``list-graphs`` / ``list-failures`` /
+  ``list-experiments`` — discovery, backed by the unified registries,
+  including each entry's keyword parameters.
 
 The CLI is intentionally a thin veneer over the library; anything it can do is
 one or two calls into :mod:`repro`.
@@ -18,15 +25,17 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.config import SimulationConfig
 from .core.metrics import aggregate_runs
+from .core.registry import Registry
 from .core.rng import RandomSource, derive_seed
 from .experiments.registry import available_experiments, run_experiment_by_id
 from .experiments.results_io import save_table
-from .experiments.runner import repeat_broadcast
 from .experiments.tables import Table
-from .graphs.configuration_model import connected_random_regular_graph
-from .protocols.registry import available_protocols, build_protocol
+from .failures.registry import FAILURE_MODELS
+from .graphs.registry import GRAPH_FAMILIES
+from .protocols.registry import PROTOCOLS, available_protocols
+from .spec.run import ScenarioRun, run_spec
+from .spec.scenario import GraphSpec, ProtocolSpec, ScenarioSpec, load_spec, save_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -84,6 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--save", default=None, help="write the results table to a .json or .csv file"
     )
+    simulate.add_argument(
+        "--dump-spec",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "emit the ScenarioSpec JSON that reproduces this invocation "
+            "(to stdout, or to PATH) instead of running it"
+        ),
+    )
+
+    run_spec_cmd = subparsers.add_parser(
+        "run-spec", help="execute a scenario spec file (JSON) and print the table"
+    )
+    run_spec_cmd.add_argument("spec_file", help="path to a ScenarioSpec .json file")
+    run_spec_cmd.add_argument(
+        "--save", default=None, help="write the results table to a .json or .csv file"
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run a registered experiment (E1..E13)"
@@ -123,31 +151,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p2p.add_argument("--seed", type=int, default=2008, help="master seed")
 
-    subparsers.add_parser("list-protocols", help="list available protocols")
+    subparsers.add_parser(
+        "list-protocols", help="list available protocols and their parameters"
+    )
+    subparsers.add_parser(
+        "list-graphs", help="list available graph families and their parameters"
+    )
+    subparsers.add_parser(
+        "list-failures", help="list available failure models and their parameters"
+    )
     subparsers.add_parser("list-experiments", help="list registered experiments")
     return parser
 
 
-def _run_simulate(args: argparse.Namespace) -> int:
-    graph_rng = RandomSource(seed=derive_seed(args.seed, "cli-graph", args.n, args.d))
-    graph = connected_random_regular_graph(args.n, args.d, graph_rng)
-    config = SimulationConfig(
-        message_loss_probability=args.loss,
-        stop_when_informed=not args.full_schedule,
+def _simulate_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """The ScenarioSpec equivalent of a ``simulate`` invocation."""
+    config = {}
+    if args.loss:
+        config["message_loss_probability"] = args.loss
+    if args.full_schedule:
+        config["stop_when_informed"] = False
+    return ScenarioSpec(
+        name="simulate",
+        graph=GraphSpec(
+            family="connected-random-regular", params={"n": args.n, "d": args.d}
+        ),
+        protocol=ProtocolSpec(name=args.protocol),
+        repetitions=args.seeds,
+        master_seed=args.seed,
+        label="simulate-{protocol}",
         engine=args.engine,
-    )
-    seeds = [derive_seed(args.seed, "cli-run", i) for i in range(args.seeds)]
-    results = repeat_broadcast(
-        graph=graph,
-        protocol_factory=lambda n_est: build_protocol(args.protocol, n_est),
-        n_estimate=args.n,
-        seeds=seeds,
-        config=config,
         batch=args.batch,
+        config=config,
     )
 
+
+def _render_point_table(title: str, run: ScenarioRun) -> Table:
+    """The per-seed simulate table (one row per run plus the aggregate note)."""
+    results = run.points[0].results
     table = Table(
-        title=f"{args.protocol} on a random {args.d}-regular graph with n = {args.n}",
+        title=title,
         columns=["run", "success", "rounds", "transmissions", "tx_per_node"],
     )
     for index, result in enumerate(results):
@@ -172,6 +215,35 @@ def _run_simulate(args: argparse.Namespace) -> int:
         f"mean tx/node {aggregate.transmissions_per_node.mean:.2f} "
         f"[engine: {engine_note}]"
     )
+    table.metadata["spec"] = run.spec.to_dict()
+    return table
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    spec = _simulate_spec(args)
+    if args.dump_spec is not None:
+        if args.dump_spec == "-":
+            print(spec.to_json())
+        else:
+            destination = save_spec(spec, args.dump_spec)
+            print(f"wrote spec to {destination}")
+        return 0
+    run = run_spec(spec)
+    table = _render_point_table(
+        f"{args.protocol} on a random {args.d}-regular graph with n = {args.n}",
+        run,
+    )
+    print(table.render())
+    if args.save:
+        destination = save_table(table, args.save)
+        print(f"saved results to {destination}")
+    return 0
+
+
+def _run_run_spec(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec_file)
+    run = run_spec(spec)
+    table = run.to_table()
     print(table.render())
     if args.save:
         destination = save_table(table, args.save)
@@ -238,9 +310,11 @@ def _run_p2p(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_list_protocols() -> int:
-    for name in available_protocols():
-        print(name)
+def _print_registry(registry: Registry) -> int:
+    for entry in registry:
+        print(f"{entry.name}: {entry.summary}" if entry.summary else entry.name)
+        for param, help_text in entry.params.items():
+            print(f"    {param} — {help_text}")
     return 0
 
 
@@ -256,12 +330,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "run-spec":
+        return _run_run_spec(args)
     if args.command == "experiment":
         return _run_experiment(args)
     if args.command == "p2p":
         return _run_p2p(args)
     if args.command == "list-protocols":
-        return _run_list_protocols()
+        return _print_registry(PROTOCOLS)
+    if args.command == "list-graphs":
+        return _print_registry(GRAPH_FAMILIES)
+    if args.command == "list-failures":
+        return _print_registry(FAILURE_MODELS)
     if args.command == "list-experiments":
         return _run_list_experiments()
     parser.error(f"unknown command {args.command!r}")

@@ -10,22 +10,50 @@ newly informed node pushes to ``k`` random neighbours, so the "epidemic
 branching factor" is about ``k·(1 − informed fraction)`` — with ``k = 1`` the
 process is subcritical and Phase 1 stalls, which the phase-1 informed count
 column shows directly.
+
+The fanout grid is declared as a :class:`ScenarioSpec` (one sweep axis over
+``protocol.params.fanout``); execution through :func:`repro.spec.run_spec`
+is bit-identical to the hand-wired loop this module used to contain.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from ..core.config import SimulationConfig
-from ..core.metrics import aggregate_runs
-from ..protocols.algorithm1 import Algorithm1
-from .runner import ExperimentRunner
+from ..spec.run import run_spec
+from ..spec.scenario import GraphSpec, ProtocolSpec, ScenarioSpec, SweepAxis, SweepSpec
 from .tables import Table
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "scenario"]
 
 EXPERIMENT_ID = "E9"
 TITLE = "E9 — fanout (number of distinct choices) ablation"
+
+
+def scenario(
+    quick: bool = True,
+    master_seed: int = 2008,
+    n: Optional[int] = None,
+    degree: int = 8,
+    fanouts: Optional[List[int]] = None,
+) -> ScenarioSpec:
+    """The E9 fanout ablation as a declarative scenario record."""
+    size = n if n is not None else (1024 if quick else 8192)
+    fanout_values = tuple(fanouts) if fanouts is not None else (1, 2, 3, 4, 5)
+    return ScenarioSpec(
+        name="e9-choices-ablation",
+        graph=GraphSpec(
+            family="connected-random-regular", params={"n": size, "d": degree}
+        ),
+        protocol=ProtocolSpec(name="algorithm1", params={"fanout": fanout_values[0]}),
+        sweep=SweepSpec(
+            axes=(SweepAxis(path="protocol.params.fanout", values=fanout_values),)
+        ),
+        repetitions=3 if quick else 5,
+        master_seed=master_seed,
+        label="e9-f{fanout}",
+        config={"stop_when_informed": False},
+    )
 
 
 def run_experiment(
@@ -36,10 +64,11 @@ def run_experiment(
     fanouts: Optional[List[int]] = None,
 ) -> Table:
     """Run the fanout ablation on the Algorithm 1 phase structure."""
-    size = n if n is not None else (1024 if quick else 8192)
-    fanout_values = fanouts if fanouts is not None else [1, 2, 3, 4, 5]
-    runner = ExperimentRunner(master_seed=master_seed, repetitions=3 if quick else 5)
-    full_schedule = SimulationConfig(stop_when_informed=False)
+    spec = scenario(
+        quick=quick, master_seed=master_seed, n=n, degree=degree, fanouts=fanouts
+    )
+    run = run_spec(spec)
+    size = spec.graph.params["n"]
 
     table = Table(
         title=f"{TITLE} (n = {size}, d = {degree})",
@@ -52,15 +81,9 @@ def run_experiment(
         ],
     )
 
-    for fanout in fanout_values:
-        results = runner.broadcast(
-            size,
-            degree,
-            lambda n_est, k=fanout: Algorithm1(n_estimate=n_est, fanout=k),
-            label=f"e9-f{fanout}",
-            config=full_schedule,
-        )
-        aggregate = aggregate_runs(results)
+    for point in run.points:
+        results = point.results
+        aggregate = point.aggregate
         phase1_informed = []
         for result in results:
             phase1_rounds = [r for r in result.history if r.phase == "phase1"]
@@ -72,7 +95,7 @@ def run_experiment(
             if r.rounds_to_completion is not None
         ]
         table.add_row(
-            fanout=fanout,
+            fanout=point.values["fanout"],
             success_rate=aggregate.success_rate,
             rounds_mean=(
                 sum(completion_rounds) / len(completion_rounds)
@@ -90,4 +113,5 @@ def run_experiment(
         "expensive.  With fanout 1 the phase-1 epidemic is subcritical, visible "
         "in the informed_after_phase1 column."
     )
+    table.metadata["spec"] = spec.to_dict()
     return table

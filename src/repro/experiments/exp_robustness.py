@@ -8,7 +8,11 @@ number of nodes".
   success rate, completion rounds, and transmissions for Algorithm 1 and for
   the push baseline.  Expected shape: moderate loss (say up to 20–30%) slows
   the broadcast by a modest factor but does not break it, because every
-  informed node keeps participating in later phases.
+  informed node keeps participating in later phases.  The loss × protocol
+  grid is declared as a :class:`ScenarioSpec` (axes over
+  ``failure.params.transmission_loss_probability`` and ``protocol.name``)
+  and executed through the spec-driven runner entry point — bit-identical to
+  the hand-wired loops this module used to contain.
 * **E7** feeds Algorithm 1 a size estimate that is off by powers of two and
   reports the same metrics.  Expected shape: the phase boundaries move by a
   constant number of rounds, so completion and cost change only mildly.
@@ -20,16 +24,64 @@ from typing import List, Optional
 
 from ..core.metrics import aggregate_runs
 from ..failures.estimates import EstimateError
-from ..failures.message_loss import IndependentLoss
 from ..protocols.algorithm1 import Algorithm1
-from ..protocols.push import PushProtocol
+from ..spec.scenario import (
+    FailureSpec,
+    GraphSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+)
 from .runner import ExperimentRunner
 from .tables import Table
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "scenario"]
 
 EXPERIMENT_ID = "E6/E7"
 TITLE = "E6/E7 — robustness to message loss and size-estimate error"
+
+
+def scenario(
+    quick: bool = True,
+    master_seed: int = 2008,
+    n: Optional[int] = None,
+    degree: int = 8,
+    loss_probabilities: Optional[List[float]] = None,
+) -> ScenarioSpec:
+    """The E6 message-loss sweep as a declarative scenario record."""
+    size = n if n is not None else (1024 if quick else 8192)
+    losses = (
+        tuple(loss_probabilities)
+        if loss_probabilities is not None
+        else (0.0, 0.05, 0.1, 0.2, 0.3)
+    )
+    return ScenarioSpec(
+        name="e6-message-loss",
+        graph=GraphSpec(
+            family="connected-random-regular", params={"n": size, "d": degree}
+        ),
+        protocol=ProtocolSpec(name="algorithm1"),
+        failure=FailureSpec(
+            model="independent-loss",
+            params={"transmission_loss_probability": losses[0]},
+        ),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis(
+                    path="failure.params.transmission_loss_probability",
+                    values=losses,
+                    key="loss",
+                ),
+                SweepAxis(
+                    path="protocol.name", values=("algorithm1", "push"), key="protocol"
+                ),
+            )
+        ),
+        repetitions=3 if quick else 5,
+        master_seed=master_seed,
+        label="e6-{protocol}-{loss}",
+    )
 
 
 def run_experiment(
@@ -42,9 +94,20 @@ def run_experiment(
 ) -> Table:
     """Run the loss sweep (E6) and the estimate sweep (E7)."""
     size = n if n is not None else (1024 if quick else 8192)
-    losses = loss_probabilities if loss_probabilities is not None else [0.0, 0.05, 0.1, 0.2, 0.3]
     factors = estimate_factors if estimate_factors is not None else [0.25, 0.5, 1.0, 2.0, 4.0]
-    runner = ExperimentRunner(master_seed=master_seed, repetitions=3 if quick else 5)
+    spec = scenario(
+        quick=quick,
+        master_seed=master_seed,
+        n=n,
+        degree=degree,
+        loss_probabilities=loss_probabilities,
+    )
+    runner = ExperimentRunner(
+        master_seed=master_seed,
+        repetitions=spec.repetitions,
+        engine=spec.engine,
+        batch=spec.batch,
+    )
 
     table = Table(
         title=f"{TITLE} (n = {size}, d = {degree})",
@@ -59,31 +122,18 @@ def run_experiment(
         ],
     )
 
-    # E6: message-loss sweep.
-    for loss in losses:
-        failure = IndependentLoss(transmission_loss_probability=loss)
-        for name, factory in (
-            ("algorithm1", lambda n_est: Algorithm1(n_estimate=n_est)),
-            ("push", lambda n_est: PushProtocol(n_estimate=n_est)),
-        ):
-            aggregate = aggregate_runs(
-                runner.broadcast(
-                    size,
-                    degree,
-                    factory,
-                    label=f"e6-{name}-{loss}",
-                    failure_model=failure,
-                )
-            )
-            table.add_row(
-                block="message-loss",
-                protocol=name,
-                loss_probability=loss,
-                estimate_factor=1.0,
-                success_rate=aggregate.success_rate,
-                rounds_mean=aggregate.rounds.mean,
-                tx_per_node=aggregate.transmissions_per_node.mean,
-            )
+    # E6: message-loss sweep, spec-driven (same runner, shared graph cache).
+    for point in runner.run_scenario(spec).points:
+        aggregate = point.aggregate
+        table.add_row(
+            block="message-loss",
+            protocol=point.values["protocol"],
+            loss_probability=point.values["loss"],
+            estimate_factor=1.0,
+            success_rate=aggregate.success_rate,
+            rounds_mean=aggregate.rounds.mean,
+            tx_per_node=aggregate.transmissions_per_node.mean,
+        )
 
     # E7: size-estimate sweep (Algorithm 1 only; push has no size parameter
     # beyond its horizon, which we leave at the true n).
@@ -112,4 +162,5 @@ def run_experiment(
         "Paper claim: limited communication failures and constant-factor errors "
         "in the size estimate neither break completion nor blow up the cost."
     )
+    table.metadata["spec"] = spec.to_dict()
     return table

@@ -5,6 +5,12 @@ random d-regular graph within ``O(log n)`` rounds.  The experiment sweeps the
 network size, measures the number of rounds until the last node is informed,
 and reports the ratio ``rounds / log₂ n``, which should stay roughly constant
 across the sweep for every protocol that is genuinely ``O(log n)``.
+
+The sweep itself is declared as a :class:`ScenarioSpec` (see
+:func:`scenario`), so the full grid — protocols × sizes × seeds — is one
+serialisable record; running it through :func:`repro.spec.run_spec` is
+bit-identical to the hand-wired :class:`ExperimentRunner` loops this module
+used to contain.
 """
 
 from __future__ import annotations
@@ -12,26 +18,44 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from ..core.metrics import aggregate_runs
-from ..protocols.algorithm1 import Algorithm1
-from ..protocols.push import PushProtocol
-from ..protocols.push_pull import PushPullProtocol
-from .runner import ExperimentRunner
+from ..spec.run import run_spec
+from ..spec.scenario import GraphSpec, ProtocolSpec, ScenarioSpec, SweepAxis, SweepSpec
 from .tables import Table
 from .workloads import DEFAULT_DEGREE, SweepSizes, full_sizes, quick_sizes
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "scenario"]
 
 EXPERIMENT_ID = "E1"
 TITLE = "E1 — round complexity on random d-regular graphs"
 
+PROTOCOL_NAMES = ("push", "push-pull", "algorithm1")
 
-def _protocols():
-    return {
-        "push": lambda n: PushProtocol(n_estimate=n),
-        "push-pull": lambda n: PushPullProtocol(n_estimate=n),
-        "algorithm1": lambda n: Algorithm1(n_estimate=n),
-    }
+
+def scenario(
+    quick: bool = True,
+    master_seed: int = 2008,
+    degree: int = DEFAULT_DEGREE,
+    sizes: Optional[SweepSizes] = None,
+) -> ScenarioSpec:
+    """The E1 sweep as a declarative scenario record."""
+    sweep = sizes if sizes is not None else (quick_sizes() if quick else full_sizes())
+    return ScenarioSpec(
+        name="e1-round-complexity",
+        graph=GraphSpec(
+            family="connected-random-regular",
+            params={"n": sweep.sizes[0], "d": degree},
+        ),
+        protocol=ProtocolSpec(name=PROTOCOL_NAMES[0]),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis(path="protocol.name", values=PROTOCOL_NAMES, key="protocol"),
+                SweepAxis(path="graph.params.n", values=tuple(sweep.sizes)),
+            )
+        ),
+        repetitions=sweep.repetitions,
+        master_seed=master_seed,
+        label="e1-{protocol}",
+    )
 
 
 def run_experiment(
@@ -41,8 +65,8 @@ def run_experiment(
     sizes: Optional[SweepSizes] = None,
 ) -> Table:
     """Run the E1 sweep and return its table."""
-    sweep = sizes if sizes is not None else (quick_sizes() if quick else full_sizes())
-    runner = ExperimentRunner(master_seed=master_seed, repetitions=sweep.repetitions)
+    spec = scenario(quick=quick, master_seed=master_seed, degree=degree, sizes=sizes)
+    run = run_spec(spec)
 
     table = Table(
         title=f"{TITLE} (d = {degree})",
@@ -55,22 +79,21 @@ def run_experiment(
             "success_rate",
         ],
     )
-
-    for name, factory in _protocols().items():
-        for n in sweep.sizes:
-            results = runner.broadcast(n, degree, factory, label=f"e1-{name}")
-            aggregate = aggregate_runs(results)
-            table.add_row(
-                protocol=name,
-                n=n,
-                rounds_mean=aggregate.rounds.mean,
-                rounds_max=aggregate.rounds.maximum,
-                rounds_over_log2n=aggregate.rounds.mean / math.log2(n),
-                success_rate=aggregate.success_rate,
-            )
+    for point in run.points:
+        aggregate = point.aggregate
+        n = point.values["n"]
+        table.add_row(
+            protocol=point.values["protocol"],
+            n=n,
+            rounds_mean=aggregate.rounds.mean,
+            rounds_max=aggregate.rounds.maximum,
+            rounds_over_log2n=aggregate.rounds.mean / math.log2(n),
+            success_rate=aggregate.success_rate,
+        )
 
     table.add_note(
         "Paper claim: Algorithm 1 finishes in O(log n) rounds — the "
         "rounds/log2(n) column should stay roughly flat as n grows."
     )
+    table.metadata["spec"] = spec.to_dict()
     return table

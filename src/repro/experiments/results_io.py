@@ -1,10 +1,16 @@
 """Persistence for experiment tables.
 
-Experiment tables are plain data (title, columns, rows, notes), so they
-serialise naturally to JSON for archival / re-plotting and to CSV for
+Experiment tables are plain data (title, columns, rows, notes, metadata), so
+they serialise naturally to JSON for archival / re-plotting and to CSV for
 spreadsheets.  `EXPERIMENTS.md` numbers are regenerated from saved JSON files
 rather than by copying terminal output around, and the CLI's ``--save`` flag
 uses the same functions.
+
+Saved JSON carries a ``schema_version`` field; loading is tolerant of the
+format drift older records exhibit (missing ``schema_version``/``notes``/
+``metadata``, rows whose keys drifted from the column list) and only rejects
+files from a *newer* schema than this build understands, so archives keep
+loading as the format evolves instead of dying on ``KeyError``.
 """
 
 from __future__ import annotations
@@ -17,36 +23,92 @@ from typing import Union
 from ..core.errors import ExperimentError
 from .tables import Table
 
-__all__ = ["save_table_json", "load_table_json", "save_table_csv", "save_table"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "save_table_json",
+    "load_table_json",
+    "save_table_csv",
+    "save_table",
+]
 
 PathLike = Union[str, Path]
+
+#: Version written into saved tables.  History:
+#: 1 — title/columns/rows/notes (implicit; files carry no version field);
+#: 2 — adds ``schema_version`` and the ``metadata`` block (e.g. the scenario
+#:     spec that produced the table).
+SCHEMA_VERSION = 2
 
 
 def save_table_json(table: Table, path: PathLike) -> Path:
     """Write ``table`` to ``path`` as JSON; returns the resolved path."""
     destination = Path(path)
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "title": table.title,
         "columns": table.columns,
         "rows": table.to_records(),
         "notes": list(table.notes),
+        "metadata": dict(table.metadata),
     }
     destination.write_text(json.dumps(payload, indent=2, sort_keys=False))
     return destination
 
 
 def load_table_json(path: PathLike) -> Table:
-    """Read a table previously written by :func:`save_table_json`."""
+    """Read a table previously written by :func:`save_table_json`.
+
+    Tolerates older records: a missing ``schema_version`` is treated as
+    version 1, missing ``notes``/``metadata`` default to empty, a missing
+    ``columns`` list is inferred from the rows, and row keys that drifted
+    from the column list extend it instead of raising.  Files written by a
+    *newer* schema are rejected with a clear message.
+    """
     source = Path(path)
     try:
         payload = json.loads(source.read_text())
     except (OSError, json.JSONDecodeError) as error:
         raise ExperimentError(f"cannot load table from {source}: {error}") from error
-    for key in ("title", "columns", "rows"):
-        if key not in payload:
-            raise ExperimentError(f"table file {source} is missing the {key!r} field")
-    table = Table(title=payload["title"], columns=list(payload["columns"]))
-    for row in payload["rows"]:
+    if not isinstance(payload, dict):
+        raise ExperimentError(f"table file {source} does not hold a JSON object")
+    version = payload.get("schema_version", 1)
+    if not isinstance(version, int) or version < 1:
+        raise ExperimentError(
+            f"table file {source} has invalid schema_version {version!r}"
+        )
+    if version > SCHEMA_VERSION:
+        raise ExperimentError(
+            f"table file {source} was written by schema version {version}, but "
+            f"this build reads up to version {SCHEMA_VERSION}; upgrade repro "
+            "to load it"
+        )
+    if "rows" not in payload and "columns" not in payload:
+        raise ExperimentError(
+            f"table file {source} has neither 'rows' nor 'columns'; "
+            "not a saved table"
+        )
+    rows = payload.get("rows", [])
+    if not isinstance(rows, list):
+        raise ExperimentError(f"table file {source} has a non-list 'rows' field")
+    columns = list(payload.get("columns", []))
+    # Format drift: rows may carry keys the column list predates (or the
+    # column list may be absent entirely).  Extend instead of KeyError-ing.
+    seen = set(columns)
+    for row in rows:
+        if not isinstance(row, dict):
+            raise ExperimentError(
+                f"table file {source} has a non-mapping row: {row!r}"
+            )
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    table = Table(
+        title=payload.get("title", ""),
+        columns=columns,
+        metadata=dict(payload.get("metadata", {})),
+    )
+    for row in rows:
         table.add_row(**row)
     for note in payload.get("notes", []):
         table.add_note(note)

@@ -16,19 +16,27 @@ row is bit-identical to the corresponding per-seed run).
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..core.config import SimulationConfig
 from ..core.engine import run_broadcast, run_broadcast_batch
 from ..core.engine_vectorized import vectorization_unsupported_reason
+from ..core.errors import ConfigurationError
 from ..core.metrics import RunAggregate, RunResult, aggregate_runs
 from ..core.rng import RandomSource, derive_seed
 from ..failures.churn import ChurnModel
 from ..failures.message_loss import FailureModel
 from ..graphs.base import Graph
 from ..graphs.configuration_model import connected_random_regular_graph
+from ..graphs.registry import build_graph, graph_needs_rng
 from ..protocols.base import BroadcastProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports tables)
+    from ..spec.run import ScenarioRun
+    from ..spec.scenario import GraphSpec, ScenarioSpec
 
 __all__ = ["ProtocolFactory", "ExperimentRunner", "repeat_broadcast"]
 
@@ -122,7 +130,7 @@ class ExperimentRunner:
     batch: bool = True
 
     def __post_init__(self) -> None:
-        self._graph_cache: Dict[Tuple[int, int, int], Graph] = {}
+        self._graph_cache: Dict[tuple, Graph] = {}
         # Hoisted out of broadcast(): the engine-override config is identical
         # for every call without a caller config, so build it once instead of
         # running SimulationConfig.with_overrides per sweep point.
@@ -150,6 +158,21 @@ class ExperimentRunner:
         total = self.repetitions if count is None else count
         return [derive_seed(self.master_seed, "run", label, i) for i in range(total)]
 
+    def _resolved_config(
+        self, config: Optional[SimulationConfig]
+    ) -> Optional[SimulationConfig]:
+        """Apply the runner's engine override to a caller config.
+
+        Shared by :meth:`broadcast` and :meth:`run_scenario` — the spec
+        path's bit-parity guarantee depends on both resolving configs
+        identically.
+        """
+        if self.engine == "auto":
+            return config
+        if config is None:
+            return self._engine_config
+        return config.with_overrides(engine=self.engine)
+
     # -- running ---------------------------------------------------------------------
 
     def broadcast(
@@ -163,16 +186,12 @@ class ExperimentRunner:
         failure_model: Optional[FailureModel] = None,
         churn_factory: Optional[Callable[[], ChurnModel]] = None,
         repetitions: Optional[int] = None,
+        source: int = 0,
     ) -> List[RunResult]:
         """Run ``protocol_factory`` over the cached ``(n, d)`` graph."""
         graph = self.regular_graph(n, d)
         seeds = self.run_seeds(f"{label}-{n}-{d}", repetitions)
-        if self.engine != "auto":
-            config = (
-                self._engine_config
-                if config is None
-                else config.with_overrides(engine=self.engine)
-            )
+        config = self._resolved_config(config)
         return repeat_broadcast(
             graph=graph,
             protocol_factory=protocol_factory,
@@ -181,6 +200,7 @@ class ExperimentRunner:
             config=config,
             failure_model=failure_model,
             churn_factory=churn_factory,
+            source=source,
             batch=self.batch,
         )
 
@@ -196,3 +216,108 @@ class ExperimentRunner:
         return aggregate_runs(
             self.broadcast(n, d, protocol_factory, label, **kwargs)
         )
+
+    # -- scenario specs ---------------------------------------------------------
+
+    def spec_graph(self, graph_spec: "GraphSpec") -> Graph:
+        """A cached graph materialised from a :class:`GraphSpec`.
+
+        ``connected-random-regular`` specs with plain ``{n, d}`` parameters
+        share the :meth:`regular_graph` cache *and* its seed derivation
+        (``derive_seed(master, "graph", n, d, instance)``), so a spec-driven
+        run builds the bit-identical graph a hand-wired experiment would.
+        Every other family derives its seed from the family id, the instance,
+        and the sorted parameter items.
+        """
+        params = graph_spec.params
+        if graph_spec.family == "connected-random-regular" and set(params) == {"n", "d"}:
+            return self.regular_graph(params["n"], params["d"], graph_spec.instance)
+        key = (
+            graph_spec.family,
+            tuple(sorted(params.items())),
+            graph_spec.instance,
+        )
+        if key not in self._graph_cache:
+            rng = None
+            if graph_needs_rng(graph_spec.family):
+                seed = derive_seed(
+                    self.master_seed,
+                    "graph",
+                    graph_spec.family,
+                    graph_spec.instance,
+                    *(f"{name}={value}" for name, value in sorted(params.items())),
+                )
+                rng = RandomSource(seed=seed, name=f"graph-{graph_spec.family}")
+            graph = build_graph(graph_spec.family, rng=rng, **params)
+            if graph.has_contiguous_ids():
+                # Pre-warm the CSR view, mirroring regular_graph().
+                graph.csr()
+            self._graph_cache[key] = graph
+        return self._graph_cache[key]
+
+    def run_scenario(self, spec: "ScenarioSpec") -> "ScenarioRun":
+        """Spec-driven entry point: execute every grid point of ``spec``.
+
+        The runner's own seed/engine knobs must match the spec's (they feed
+        the same derivations); :func:`repro.spec.run_spec` constructs a
+        matching runner automatically.  Each point's fully-resolved
+        single-point spec is recorded in ``RunResult.metadata["spec"]``.
+        """
+        from ..spec.run import PointRun, ScenarioRun
+
+        for attribute in ("master_seed", "engine", "batch"):
+            if getattr(spec, attribute) != getattr(self, attribute):
+                raise ConfigurationError(
+                    f"scenario {attribute} ({getattr(spec, attribute)!r}) does not "
+                    f"match this runner's ({getattr(self, attribute)!r}); build the "
+                    "runner from the spec or use repro.spec.run_spec"
+                )
+
+        run = ScenarioRun(spec=spec)
+        for index, (values, point) in enumerate(spec.expand()):
+            label = point.run_label(values)
+            # Bake the formatted label into the recorded point spec: the raw
+            # template may reference sweep-axis keys (e.g. "{loss}") that no
+            # longer exist once the sweep is resolved away, and the label
+            # feeds the run-seed derivation, so only the baked form makes the
+            # recorded spec replayable on its own.
+            point = dataclasses.replace(point, label=label)
+            graph_params = point.graph.params
+            graph = self.spec_graph(point.graph)
+            if (
+                point.graph.family == "connected-random-regular"
+                and set(graph_params) == {"n", "d"}
+            ):
+                # The hand-wired seed discipline of broadcast().
+                seed_label = f"{label}-{graph_params['n']}-{graph_params['d']}"
+            else:
+                seed_label = f"{label}-{graph.node_count}"
+            seeds = self.run_seeds(seed_label, point.repetitions)
+            config = self._resolved_config(point.simulation_config())
+            results = repeat_broadcast(
+                graph=graph,
+                protocol_factory=point.protocol.factory(),
+                n_estimate=(
+                    point.protocol.n_estimate
+                    if point.protocol.n_estimate is not None
+                    else graph.node_count
+                ),
+                seeds=seeds,
+                config=config,
+                failure_model=point.failure.build(),
+                source=point.source,
+                batch=self.batch,
+            )
+            point_dict = point.to_dict()
+            for result in results:
+                result.metadata["spec"] = copy.deepcopy(point_dict)
+            run.points.append(
+                PointRun(
+                    index=index,
+                    values=values,
+                    label=label,
+                    spec=point,
+                    results=results,
+                )
+            )
+        return run

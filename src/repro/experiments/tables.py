@@ -31,12 +31,17 @@ class Table:
     notes:
         Free-text lines printed below the table (e.g. which scaling law fits
         best, or a pointer to the paper claim the table reproduces).
+    metadata:
+        Machine-readable provenance that travels with the saved table but is
+        not rendered — most importantly ``metadata["spec"]``, the serialized
+        :class:`repro.spec.ScenarioSpec` that reproduces the table.
     """
 
     title: str
     columns: List[str]
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, **values: object) -> None:
         """Append a row given as keyword arguments."""

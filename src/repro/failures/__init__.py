@@ -3,6 +3,7 @@
 from .churn import ChurnEvent, ChurnModel, NoChurn, UniformChurn
 from .estimates import EstimateError, distorted_estimate, estimate_grid
 from .message_loss import FailureModel, IndependentLoss, ReliableDelivery
+from .registry import FAILURE_MODELS, available_failure_models, build_failure_model
 
 __all__ = [
     "FailureModel",
@@ -15,4 +16,7 @@ __all__ = [
     "EstimateError",
     "distorted_estimate",
     "estimate_grid",
+    "FAILURE_MODELS",
+    "available_failure_models",
+    "build_failure_model",
 ]

@@ -1,0 +1,46 @@
+"""The failure-model registry: string ids -> failure-model builders.
+
+Mirrors the protocol and graph-family registries so scenario specs can name
+their failure regime declaratively (``"reliable"``, ``"independent-loss"``)
+and the CLI can list the available models with their kwargs.
+"""
+
+from __future__ import annotations
+
+from ..core.registry import Registry
+from .message_loss import FailureModel, IndependentLoss, ReliableDelivery
+
+__all__ = ["FAILURE_MODELS", "build_failure_model", "available_failure_models"]
+
+
+#: The shared registry instance for failure models.
+FAILURE_MODELS = Registry("failure model")
+
+FAILURE_MODELS.register(
+    "reliable",
+    ReliableDelivery,
+    summary="failure-free delivery: every channel works, every copy arrives",
+)
+FAILURE_MODELS.register(
+    "independent-loss",
+    IndependentLoss,
+    summary="independent Bernoulli loss per transmission and/or per channel",
+    params={
+        "transmission_loss_probability": "chance an individual copy is dropped",
+        "channel_failure_probability": "chance an opened channel fails all round",
+    },
+)
+
+
+def available_failure_models() -> list:
+    """The sorted list of registered failure-model ids."""
+    return FAILURE_MODELS.names()
+
+
+def build_failure_model(name: str, **kwargs) -> FailureModel:
+    """Instantiate the failure model registered under ``name``.
+
+    Unknown names and unknown kwargs raise :class:`ConfigurationError` naming
+    the offending id or key.
+    """
+    return FAILURE_MODELS.build(name, **kwargs)

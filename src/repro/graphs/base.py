@@ -107,6 +107,36 @@ class Graph:
         return graph
 
     @classmethod
+    def from_csr(cls, n: int, indptr: np.ndarray, indices: np.ndarray) -> "Graph":
+        """Build a graph on nodes ``0..n-1`` directly from a CSR stub view.
+
+        The fastest constructor: generators that can lay out each node's
+        adjacency stubs themselves (e.g. the pairing model, where every node
+        owns exactly ``d`` stubs) skip the per-edge grouping sort entirely.
+        ``indices`` must contain every edge twice (once per endpoint;
+        self-loops contribute two entries at the looping node), exactly as
+        :meth:`csr` would report it.  The arrays are adopted, not copied, and
+        must not be mutated by the caller afterwards.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size != n + 1:
+            raise ValueError(f"indptr must have shape ({n + 1},), got {indptr.shape}")
+        if indices.ndim != 1 or indices.size != int(indptr[-1]):
+            raise ValueError(
+                f"indices must hold indptr[-1] = {int(indptr[-1])} stubs, "
+                f"got {indices.size}"
+            )
+        if indices.size % 2 != 0:
+            raise ValueError("stub count must be even (two stubs per edge)")
+        graph = cls()
+        graph._adjacency = {}
+        graph._lazy_n = n
+        graph._edge_count = indices.size // 2
+        graph._csr_cache = (indptr, indices)
+        return graph
+
+    @classmethod
     def from_networkx(cls, nx_graph: "nx.Graph") -> "Graph":
         """Convert a networkx graph (nodes are relabelled to 0..n-1)."""
         mapping = {node: index for index, node in enumerate(sorted(nx_graph.nodes()))}

@@ -1,0 +1,170 @@
+"""The graph-family registry: string ids -> graph generators.
+
+Scenario specs and the CLI refer to topologies by short ids
+(``"random-regular"``, ``"complete"``, ``"gnp"``, ...).  Every builder is
+registered with an explicit keyword signature, so a spec's graph kwargs can be
+validated before any generation work happens, and ``repro-broadcast
+list-graphs`` can render per-family parameter help.
+
+Builders that need randomness declare an ``rng`` parameter;
+:func:`build_graph` injects the caller's :class:`RandomSource` for those and
+omits it for deterministic families (complete graph, hypercube, ring).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import ConfigurationError
+from ..core.registry import Registry
+from ..core.rng import RandomSource
+from .base import Graph
+from .configuration_model import (
+    connected_random_regular_graph,
+    pairing_multigraph,
+    random_regular_graph,
+)
+from .families import (
+    complete_graph,
+    gnp_graph,
+    hypercube_graph,
+    regular_product_with_clique,
+    ring_graph,
+)
+
+__all__ = ["GRAPH_FAMILIES", "build_graph", "available_graph_families", "graph_needs_rng"]
+
+
+def _random_regular(
+    rng: RandomSource, n: int, d: int, simple: bool = True, strategy: str = "auto"
+) -> Graph:
+    return random_regular_graph(n, d, rng, simple=simple, strategy=strategy)
+
+
+def _connected_random_regular(
+    rng: RandomSource, n: int, d: int, simple: bool = True, strategy: str = "auto"
+) -> Graph:
+    return connected_random_regular_graph(n, d, rng, simple=simple, strategy=strategy)
+
+
+def _pairing_multigraph(rng: RandomSource, n: int, d: int) -> Graph:
+    return pairing_multigraph(n, d, rng)
+
+
+def _complete(n: int) -> Graph:
+    return complete_graph(n)
+
+
+def _gnp(rng: RandomSource, n: int, p: float) -> Graph:
+    return gnp_graph(n, p, rng)
+
+
+def _hypercube(dimension: int) -> Graph:
+    return hypercube_graph(dimension)
+
+
+def _ring(n: int) -> Graph:
+    return ring_graph(n)
+
+
+def _regular_product_clique(
+    rng: RandomSource, n: int, d: int, clique_size: int = 5
+) -> Graph:
+    return regular_product_with_clique(n, d, rng, clique_size=clique_size)
+
+
+#: The shared registry instance for graph families.
+GRAPH_FAMILIES = Registry("graph family")
+
+GRAPH_FAMILIES.register(
+    "random-regular",
+    _random_regular,
+    summary="random d-regular graph from the configuration (pairing) model",
+    params={
+        "n": "number of nodes",
+        "d": "degree (n*d must be even)",
+        "simple": "repair/reject multigraph outcomes (default true)",
+        "strategy": "'auto' | 'rejection' | 'repair' | 'networkx' (default auto)",
+    },
+)
+GRAPH_FAMILIES.register(
+    "connected-random-regular",
+    _connected_random_regular,
+    summary="random d-regular graph, redrawn until connected (experiment default)",
+    params={
+        "n": "number of nodes",
+        "d": "degree (n*d must be even)",
+        "simple": "repair/reject multigraph outcomes (default true)",
+        "strategy": "'auto' | 'rejection' | 'repair' | 'networkx' (default auto)",
+    },
+)
+GRAPH_FAMILIES.register(
+    "pairing-multigraph",
+    _pairing_multigraph,
+    summary="one raw pairing-model draw (self-loops / parallel edges allowed)",
+    params={"n": "number of nodes", "d": "degree (n*d must be even)"},
+)
+GRAPH_FAMILIES.register(
+    "complete",
+    _complete,
+    summary="complete graph K_n (the Karp et al. setting)",
+    params={"n": "number of nodes (>= 2)"},
+)
+GRAPH_FAMILIES.register(
+    "gnp",
+    _gnp,
+    summary="Erdős–Rényi G(n, p) random graph",
+    params={"n": "number of nodes", "p": "edge probability in [0, 1]"},
+)
+GRAPH_FAMILIES.register(
+    "hypercube",
+    _hypercube,
+    summary="hypercube on 2^dimension nodes (Feige et al. setting)",
+    params={"dimension": "hypercube dimension (>= 1)"},
+)
+GRAPH_FAMILIES.register(
+    "ring",
+    _ring,
+    summary="cycle on n nodes — the classic rumour-spreading worst case",
+    params={"n": "number of nodes (>= 3)"},
+)
+GRAPH_FAMILIES.register(
+    "regular-product-clique",
+    _regular_product_clique,
+    summary="Cartesian product of a random d-regular graph with K_clique_size "
+    "(the paper's counterexample)",
+    params={
+        "n": "nodes of the regular base graph",
+        "d": "degree of the base graph",
+        "clique_size": "clique factor size (default 5)",
+    },
+)
+
+
+def available_graph_families() -> list:
+    """The sorted list of registered graph-family ids."""
+    return GRAPH_FAMILIES.names()
+
+
+def graph_needs_rng(family: str) -> bool:
+    """True if the family's builder consumes randomness."""
+    accepted = GRAPH_FAMILIES.entry(family).accepted_kwargs()
+    return accepted is None or "rng" in accepted
+
+
+def build_graph(family: str, rng: Optional[RandomSource] = None, **kwargs) -> Graph:
+    """Build a graph of ``family`` with ``kwargs``, injecting ``rng`` if needed.
+
+    Unknown families and unknown kwargs raise :class:`ConfigurationError`
+    naming the offending id or key; randomised families raise if ``rng`` is
+    missing.
+    """
+    GRAPH_FAMILIES.validate_kwargs(family, kwargs, reserved=("rng",))
+    builder = GRAPH_FAMILIES.entry(family).builder
+    if graph_needs_rng(family):
+        if rng is None:
+            raise ConfigurationError(
+                f"graph family {family!r} is randomised and requires an rng"
+            )
+        return builder(rng=rng, **kwargs)
+    return builder(**kwargs)

@@ -19,7 +19,12 @@ from .pull import PullProtocol
 from .push import PushProtocol
 from .push_pull import PushPullProtocol
 from .quasirandom import QuasirandomPushProtocol
-from .registry import PROTOCOL_BUILDERS, available_protocols, build_protocol
+from .registry import (
+    PROTOCOL_BUILDERS,
+    PROTOCOLS,
+    available_protocols,
+    build_protocol,
+)
 from .schedule import (
     PhaseSchedule,
     algorithm1_schedule,
@@ -45,6 +50,7 @@ __all__ = [
     "log2_estimate",
     "loglog_estimate",
     "PROTOCOL_BUILDERS",
+    "PROTOCOLS",
     "build_protocol",
     "available_protocols",
 ]

@@ -1,16 +1,19 @@
-"""A small factory/registry for protocols, used by the CLI and sweeps.
+"""The protocol registry, used by the CLI, sweeps, and scenario specs.
 
 Experiments and the command line refer to protocols by short names
 (``"push"``, ``"algorithm1"``, ...); the registry maps those names to
 constructor callables so that sweep definitions remain declarative strings
-rather than imports.
+rather than imports.  It is an instance of the shared
+:class:`repro.core.registry.Registry` mechanism, so scenario specs can
+validate protocol kwargs up front and the CLI can render per-protocol help.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from types import MappingProxyType
+from typing import Callable, Mapping
 
-from ..core.errors import ConfigurationError
+from ..core.registry import Registry
 from .algorithm1 import Algorithm1
 from .algorithm2 import Algorithm2
 from .base import BroadcastProtocol
@@ -21,28 +24,138 @@ from .push_pull import PushPullProtocol
 from .quasirandom import QuasirandomPushProtocol
 from .sequential import SequentialAlgorithm1
 
-__all__ = ["PROTOCOL_BUILDERS", "build_protocol", "available_protocols"]
+__all__ = [
+    "PROTOCOLS",
+    "PROTOCOL_BUILDERS",
+    "build_protocol",
+    "available_protocols",
+]
 
 
 ProtocolBuilder = Callable[..., BroadcastProtocol]
 
 
-PROTOCOL_BUILDERS: Dict[str, ProtocolBuilder] = {
-    "push": PushProtocol,
-    "pull": PullProtocol,
-    "push-pull": PushPullProtocol,
-    "push-pull-4": lambda n_estimate, **kw: PushPullProtocol(n_estimate, fanout=4, **kw),
-    "algorithm1": Algorithm1,
-    "algorithm2": Algorithm2,
-    "algorithm1-sequential": SequentialAlgorithm1,
-    "quasirandom-push": QuasirandomPushProtocol,
-    "median-counter": MedianCounterProtocol,
-}
+def _push_pull_4(
+    n_estimate: int,
+    extra_loglog_rounds: float = 4.0,
+    horizon_override=None,
+) -> PushPullProtocol:
+    # Explicit signature (no **kwargs) so registry kwarg validation stays
+    # eager and 'fanout' — fixed at 4 by this preset — is rejected up front.
+    return PushPullProtocol(
+        n_estimate,
+        fanout=4,
+        extra_loglog_rounds=extra_loglog_rounds,
+        horizon_override=horizon_override,
+    )
+
+
+#: The shared registry instance for broadcast protocols.
+PROTOCOLS = Registry("protocol")
+
+PROTOCOLS.register(
+    "push",
+    PushProtocol,
+    summary="classic push: every informed node calls one random neighbour",
+    params={
+        "fanout": "channels opened per round (default 1)",
+        "horizon_factor": "schedule length as a multiple of log2 n (default 4)",
+        "horizon_override": "explicit round horizon (overrides the factor)",
+    },
+)
+PROTOCOLS.register(
+    "pull",
+    PullProtocol,
+    summary="classic pull: every node calls out and asks for the message",
+    params={
+        "fanout": "channels opened per round (default 1)",
+        "horizon_factor": "schedule length as a multiple of log2 n (default 6)",
+        "horizon_override": "explicit round horizon (overrides the factor)",
+    },
+)
+PROTOCOLS.register(
+    "push-pull",
+    PushPullProtocol,
+    summary="push and pull on every opened channel (Karp et al. baseline)",
+    params={
+        "fanout": "channels opened per round (default 1)",
+        "extra_loglog_rounds": "tail length as a multiple of log log n (default 4)",
+        "horizon_override": "explicit round horizon (overrides the factor)",
+    },
+)
+PROTOCOLS.register(
+    "push-pull-4",
+    _push_pull_4,
+    summary="push&pull preset with fanout 4 (the paper's channel budget)",
+    params={
+        "extra_loglog_rounds": "tail length as a multiple of log log n (default 4)",
+        "horizon_override": "explicit round horizon (overrides the factor)",
+    },
+)
+PROTOCOLS.register(
+    "algorithm1",
+    Algorithm1,
+    summary="the paper's Algorithm 1: 4-phase schedule for d = O(sqrt(log n))",
+    params={
+        "alpha": "phase-length multiplier (default 1.0)",
+        "fanout": "distinct neighbours called per round (default 4)",
+        "schedule_override": "explicit PhaseSchedule (library use only)",
+    },
+)
+PROTOCOLS.register(
+    "algorithm2",
+    Algorithm2,
+    summary="the paper's Algorithm 2: phase-masked pushes + answer-all pull tail",
+    params={
+        "alpha": "phase-length multiplier (default 1.0)",
+        "fanout": "distinct neighbours called per round (default 4)",
+        "schedule_override": "explicit PhaseSchedule (library use only)",
+    },
+)
+PROTOCOLS.register(
+    "algorithm1-sequential",
+    SequentialAlgorithm1,
+    summary="memory variant: one call per round, avoiding recent contacts",
+    params={
+        "alpha": "phase-length multiplier (default 1.0)",
+        "memory_window": "rounds a contact is remembered (default 3)",
+        "stretch": "schedule stretch factor (default: fanout of Algorithm 1)",
+    },
+)
+PROTOCOLS.register(
+    "quasirandom-push",
+    QuasirandomPushProtocol,
+    summary="quasirandom rumor spreading: cyclic neighbour list, random start",
+    params={
+        "horizon_factor": "schedule length as a multiple of log2 n (default 6)",
+        "horizon_override": "explicit round horizon (overrides the factor)",
+    },
+)
+PROTOCOLS.register(
+    "median-counter",
+    MedianCounterProtocol,
+    summary="median-counter rule: phase-state exchange with termination counters",
+    params={
+        "fanout": "channels opened per round (default 1)",
+        "counter_rounds_factor": "counter threshold multiplier (default 2.0)",
+        "state_c_factor": "state-C rounds multiplier (default 2.0)",
+        "horizon_factor": "schedule length as a multiple of log2 n (default 6)",
+        "horizon_override": "explicit round horizon (overrides the factor)",
+    },
+)
+
+
+#: Legacy read-only view for callers that index builders directly.  Writes
+#: raise (register new protocols via ``PROTOCOLS.register`` instead — a write
+#: here would no longer be seen by ``build_protocol``/``available_protocols``).
+PROTOCOL_BUILDERS: Mapping[str, ProtocolBuilder] = MappingProxyType(
+    {entry.name: entry.builder for entry in PROTOCOLS}
+)
 
 
 def available_protocols() -> list:
     """The sorted list of registered protocol names."""
-    return sorted(PROTOCOL_BUILDERS)
+    return PROTOCOLS.names()
 
 
 def build_protocol(name: str, n_estimate: int, **kwargs) -> BroadcastProtocol:
@@ -50,12 +163,7 @@ def build_protocol(name: str, n_estimate: int, **kwargs) -> BroadcastProtocol:
 
     Parameters beyond ``n_estimate`` are forwarded to the protocol
     constructor, so e.g. ``build_protocol("algorithm1", 4096, alpha=1.5)``
-    works as expected.
+    works as expected.  Unknown names and unknown kwargs raise
+    :class:`ConfigurationError` naming the offending id or key.
     """
-    try:
-        builder = PROTOCOL_BUILDERS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
-        ) from None
-    return builder(n_estimate, **kwargs)
+    return PROTOCOLS.build(name, n_estimate, **kwargs)

@@ -1,0 +1,37 @@
+"""Declarative, serializable scenario specifications and their execution.
+
+``repro.spec`` turns a whole run or sweep — graph family, protocol, failure
+regime, sweep axes, seeds, engine knobs — into one JSON-serialisable record
+(:class:`ScenarioSpec`) that users can write, diff, store, and sweep at
+scale.  :func:`run_spec` executes a spec with the exact seeding discipline of
+the hand-written experiments, so a scenario file reproduces an experiment
+bit-for-bit.
+"""
+
+from .run import PointRun, ScenarioRun, run_spec
+from .scenario import (
+    SCENARIO_SCHEMA,
+    FailureSpec,
+    GraphSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    load_spec,
+    save_spec,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "GraphSpec",
+    "ProtocolSpec",
+    "FailureSpec",
+    "SweepAxis",
+    "SweepSpec",
+    "ScenarioSpec",
+    "load_spec",
+    "save_spec",
+    "PointRun",
+    "ScenarioRun",
+    "run_spec",
+]

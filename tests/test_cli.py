@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -40,6 +42,20 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "algorithm1" in output
         assert "push-pull" in output
+
+    def test_list_graphs_shows_families_and_kwargs(self, capsys):
+        assert main(["list-graphs"]) == 0
+        output = capsys.readouterr().out
+        assert "connected-random-regular" in output
+        assert "hypercube" in output
+        assert "dimension" in output  # kwargs help text
+
+    def test_list_failures_shows_models_and_kwargs(self, capsys):
+        assert main(["list-failures"]) == 0
+        output = capsys.readouterr().out
+        assert "reliable" in output
+        assert "independent-loss" in output
+        assert "transmission_loss_probability" in output
 
     def test_list_experiments(self, capsys):
         assert main(["list-experiments"]) == 0
@@ -99,6 +115,64 @@ class TestCommands:
     def test_experiment_command_unknown_id(self):
         with pytest.raises(Exception):
             main(["experiment", "E99"])
+
+    def test_simulate_dump_spec_to_stdout(self, capsys):
+        exit_code = main(
+            ["simulate", "--n", "128", "--d", "6", "--protocol", "push",
+             "--seeds", "2", "--loss", "0.1", "--dump-spec"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["graph"]["params"] == {"n": 128, "d": 6}
+        assert payload["protocol"]["name"] == "push"
+        assert payload["repetitions"] == 2
+        assert payload["config"] == {"message_loss_probability": 0.1}
+
+    def test_simulate_dump_spec_reproduces_the_run(self, tmp_path, capsys):
+        from repro.experiments.results_io import load_table_json
+
+        simulate_args = ["simulate", "--n", "128", "--d", "6", "--protocol",
+                         "push", "--seeds", "3"]
+        spec_path = tmp_path / "sim.json"
+        assert main(simulate_args + ["--dump-spec", str(spec_path)]) == 0
+        direct_path = tmp_path / "direct.json"
+        assert main(simulate_args + ["--save", str(direct_path)]) == 0
+        via_spec_path = tmp_path / "via_spec.json"
+        assert main(["run-spec", str(spec_path), "--save", str(via_spec_path)]) == 0
+        capsys.readouterr()
+
+        direct_rows = load_table_json(direct_path).rows
+        spec_rows = load_table_json(via_spec_path).rows
+        # Same seeds, same engine: the per-run rounds of the direct invocation
+        # must match the spec-driven aggregate exactly.
+        per_run_rounds = [row["rounds"] for row in direct_rows]
+        assert len(per_run_rounds) == 3
+        assert spec_rows[0]["rounds_mean"] == sum(per_run_rounds) / len(per_run_rounds)
+        assert spec_rows[0]["rounds_max"] == max(per_run_rounds)
+        assert spec_rows[0]["tx_per_node"] == pytest.approx(
+            sum(row["tx_per_node"] for row in direct_rows) / len(direct_rows)
+        )
+
+    def test_run_spec_command(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main(
+            ["simulate", "--n", "128", "--d", "6", "--seeds", "2",
+             "--dump-spec", str(spec_path)]
+        ) == 0
+        capsys.readouterr()
+        save_path = tmp_path / "out.json"
+        assert main(["run-spec", str(spec_path), "--save", str(save_path)]) == 0
+        output = capsys.readouterr().out
+        assert "scenario: simulate" in output
+        assert "success_rate" in output
+        saved = json.loads(save_path.read_text())
+        assert saved["metadata"]["spec"]["graph"]["params"]["n"] == 128
+
+    def test_run_spec_missing_file_raises_configuration_error(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run-spec", "/nonexistent/spec.json"])
 
     def test_p2p_command(self, capsys):
         exit_code = main(

@@ -7,7 +7,9 @@ import pytest
 
 from repro.core.errors import GraphGenerationError
 from repro.core.rng import RandomSource
+from repro.graphs.base import Graph
 from repro.graphs.configuration_model import (
+    _random_pairing,
     connected_random_regular_graph,
     pairing_multigraph,
     random_regular_graph,
@@ -15,6 +17,34 @@ from repro.graphs.configuration_model import (
     validate_regular_parameters,
 )
 from repro.graphs.properties import is_connected
+
+
+class TestPairingDirectCsrBuild:
+    """The permutation-inverse CSR build must match the edge-array build bit
+    for bit: same CSR arrays, same generator stream afterwards."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 2008])
+    @pytest.mark.parametrize("n,d", [(2, 1), (64, 3), (100, 4), (501, 6), (256, 16)])
+    def test_bit_identical_to_edge_array_build(self, seed, n, d):
+        direct_rng = RandomSource(seed=seed)
+        direct = pairing_multigraph(n, d, direct_rng)
+
+        reference_rng = RandomSource(seed=seed)
+        stubs = _random_pairing(n, d, reference_rng)
+        reference = Graph.from_edge_array(n, stubs.reshape(-1, 2))
+
+        assert np.array_equal(direct.csr()[0], reference.csr()[0])
+        assert np.array_equal(direct.csr()[1], reference.csr()[1])
+        assert direct.edge_count == reference.edge_count
+        # Both paths must consume the identical amount of randomness.
+        probe = 2**31
+        assert direct_rng.generator.integers(0, probe) == reference_rng.generator.integers(0, probe)
+
+    def test_materialised_adjacency_matches_csr(self):
+        graph = pairing_multigraph(50, 4, RandomSource(seed=5))
+        indptr, indices = graph.csr()
+        for node in range(50):
+            assert graph.neighbors(node) == list(indices[indptr[node]:indptr[node + 1]])
 
 
 class TestValidation:

@@ -43,6 +43,13 @@ class TestProtocolRegistry:
         assert names == sorted(names)
         assert "algorithm1" in names
 
+    def test_legacy_builder_mapping_is_read_only(self):
+        from repro.protocols.registry import PROTOCOL_BUILDERS
+
+        assert set(PROTOCOL_BUILDERS) == set(available_protocols())
+        with pytest.raises(TypeError):
+            PROTOCOL_BUILDERS["my-proto"] = lambda n: None  # register via PROTOCOLS
+
 
 class TestMessageLossModels:
     def test_reliable_delivery_never_fails(self, rng):

@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.errors import ExperimentError
 from repro.experiments.results_io import (
+    SCHEMA_VERSION,
     load_table_json,
     save_table,
     save_table_csv,
@@ -52,6 +53,77 @@ class TestJsonRoundTrip:
             load_table_json(bad)
         bad.write_text("{not json")
         with pytest.raises(ExperimentError):
+            load_table_json(bad)
+
+
+class TestSchemaVersioning:
+    def test_saved_tables_carry_schema_version(self, sample_table, tmp_path):
+        path = save_table_json(sample_table, tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["metadata"] == {}
+
+    def test_metadata_round_trips(self, sample_table, tmp_path):
+        sample_table.metadata["spec"] = {"name": "demo"}
+        path = save_table_json(sample_table, tmp_path / "t.json")
+        assert load_table_json(path).metadata == {"spec": {"name": "demo"}}
+
+    def test_version1_record_without_schema_version_loads(self, tmp_path):
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(
+            json.dumps(
+                {
+                    "title": "Old",
+                    "columns": ["n"],
+                    "rows": [{"n": 1}],
+                    "notes": ["legacy note"],
+                }
+            )
+        )
+        table = load_table_json(legacy)
+        assert table.title == "Old"
+        assert table.metadata == {}
+        assert table.notes == ["legacy note"]
+
+    def test_drifted_row_keys_extend_columns_instead_of_raising(self, tmp_path):
+        drifted = tmp_path / "drifted.json"
+        drifted.write_text(
+            json.dumps(
+                {
+                    "columns": ["n"],
+                    "rows": [{"n": 1, "added_later": True}, {"n": 2}],
+                }
+            )
+        )
+        table = load_table_json(drifted)
+        assert table.columns == ["n", "added_later"]
+        assert table.rows[0]["added_later"] is True
+        assert table.title == ""
+
+    def test_missing_columns_inferred_from_rows(self, tmp_path):
+        no_columns = tmp_path / "nocols.json"
+        no_columns.write_text(json.dumps({"rows": [{"a": 1, "b": 2}]}))
+        table = load_table_json(no_columns)
+        assert table.columns == ["a", "b"]
+
+    def test_future_schema_version_rejected_with_clear_message(self, tmp_path):
+        future = tmp_path / "future.json"
+        future.write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION + 1, "rows": []})
+        )
+        with pytest.raises(ExperimentError, match="schema version"):
+            load_table_json(future)
+
+    def test_invalid_schema_version_rejected(self, tmp_path):
+        bad = tmp_path / "bad-version.json"
+        bad.write_text(json.dumps({"schema_version": "two", "rows": []}))
+        with pytest.raises(ExperimentError, match="schema_version"):
+            load_table_json(bad)
+
+    def test_non_mapping_row_rejected_with_experiment_error(self, tmp_path):
+        bad = tmp_path / "bad-row.json"
+        bad.write_text(json.dumps({"columns": ["n"], "rows": [[1, 2]]}))
+        with pytest.raises(ExperimentError, match="non-mapping row"):
             load_table_json(bad)
 
 
