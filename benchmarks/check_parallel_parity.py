@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""CI tripwire: a parallel run of a bundled spec must equal the serial run.
+
+Executes one bundled example scenario twice — serially and with worker
+processes — and fails (exit code 1) unless the merged table is identical to
+the serial one: same rows, columns, notes, title, and recorded scenario
+spec.  Only ``metadata["distributed"]`` (worker count, wall-clock, shard
+layout) may differ, because that block records *how* the table was produced,
+never *what* it contains.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_parallel_parity.py \
+        [--spec examples/specs/e1_round_complexity.json] [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.spec import load_spec, run_spec  # noqa: E402
+
+DEFAULT_SPEC = REPO_ROOT / "examples" / "specs" / "e1_round_complexity.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--spec", default=str(DEFAULT_SPEC), help="scenario spec file to run"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker process count (default 2)"
+    )
+    args = parser.parse_args(argv)
+
+    spec = load_spec(args.spec)
+    print(f"spec: {spec.name} ({spec.sweep.size if spec.sweep else 1} points)")
+
+    start = time.perf_counter()
+    serial_table = run_spec(spec).to_table()
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_table = run_spec(spec, workers=args.workers).to_table()
+    parallel_seconds = time.perf_counter() - start
+
+    failures = []
+    for attribute in ("title", "columns", "rows", "notes"):
+        if getattr(serial_table, attribute) != getattr(parallel_table, attribute):
+            failures.append(attribute)
+    if serial_table.metadata.get("spec") != parallel_table.metadata.get("spec"):
+        failures.append("metadata.spec")
+    if "distributed" not in parallel_table.metadata:
+        failures.append("metadata.distributed (missing provenance)")
+
+    print(
+        f"serial {serial_seconds:.2f}s vs {args.workers} workers "
+        f"{parallel_seconds:.2f}s "
+        f"({serial_seconds / parallel_seconds:.2f}x)"
+    )
+    if failures:
+        print(
+            f"PARITY FAILURE: parallel table differs in {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"parallel table identical to serial "
+        f"({len(serial_table.rows)} rows, "
+        f"{parallel_table.metadata['distributed']['points_total']} points)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

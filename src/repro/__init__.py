@@ -87,8 +87,14 @@ from .spec import (
     run_spec,
     save_spec,
 )
+from .dist import (
+    ParallelScenarioExecutor,
+    PointProgress,
+    log_point_progress,
+    merge_runs,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -154,4 +160,9 @@ __all__ = [
     "run_spec",
     "load_spec",
     "save_spec",
+    # distributed sweeps
+    "ParallelScenarioExecutor",
+    "merge_runs",
+    "PointProgress",
+    "log_point_progress",
 ]

@@ -112,6 +112,56 @@ def build_parser() -> argparse.ArgumentParser:
     run_spec_cmd.add_argument(
         "--save", default=None, help="write the results table to a .json or .csv file"
     )
+    run_spec_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan the sweep's grid points out over N worker processes; the "
+            "merged result is bit-identical to the serial run"
+        ),
+    )
+    run_spec_cmd.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/K",
+        help=(
+            "run only shard I of K (zero-based contiguous slice of the grid); "
+            "for multi-host sweeps give every shard a --checkpoint-dir, "
+            "combine the directories, and reassemble with --resume"
+        ),
+    )
+    run_spec_cmd.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write one checkpoint file per completed grid point to DIR so an "
+            "interrupted sweep can be resumed"
+        ),
+    )
+    run_spec_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip grid points already checkpointed in --checkpoint-dir "
+            "(the directory must belong to this exact spec)"
+        ),
+    )
+    run_spec_cmd.add_argument(
+        "--dry-run",
+        action="store_true",
+        help=(
+            "print the expanded grid (point index, axis values, label, run "
+            "seeds) without running anything; honours --shard"
+        ),
+    )
+    run_spec_cmd.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed grid point (to stderr)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run a registered experiment (E1..E13)"
@@ -123,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the full (slow) sweep sizes instead of the quick ones",
     )
     experiment.add_argument("--seed", type=int, default=2008, help="master seed")
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for experiments with a parallel sweep path "
+            "(e.g. E1); results are bit-identical to the serial run"
+        ),
+    )
     experiment.add_argument(
         "--save", default=None, help="write the results table to a .json or .csv file"
     )
@@ -240,9 +300,70 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dry_run_table(spec: ScenarioSpec, shard: Optional[str]) -> Table:
+    """The expanded grid as a table: index, axis values, label, run seeds."""
+    from .dist.partition import expand_points, select_indices
+    from .experiments.runner import ExperimentRunner
+
+    points = expand_points(spec)
+    indices = select_indices(len(points), shard=shard)
+    runner = ExperimentRunner(
+        master_seed=spec.master_seed,
+        repetitions=spec.repetitions,
+        engine=spec.engine,
+        batch=spec.batch,
+    )
+    axis_keys = (
+        [axis.label_key for axis in spec.sweep.axes] if spec.sweep is not None else []
+    )
+    table = Table(
+        title=f"dry run: {spec.name} ({len(points)} point(s), "
+        f"{spec.repetitions} repetition(s) per point)",
+        columns=["point"] + axis_keys + ["label", "seeds"],
+    )
+    for index in indices:
+        point = points[index]
+        seed_label = runner.seed_label_for(point.spec, point.label)
+        seeds = (
+            ", ".join(str(seed) for seed in runner.run_seeds(seed_label))
+            if seed_label is not None
+            # Non-regular families key run seeds off the materialised node
+            # count; a dry run never builds graphs, so show the rule instead.
+            else f"derive_seed({spec.master_seed}, 'run', '{point.label}-<node_count>', i)"
+        )
+        table.add_row(**point.values, point=index, label=point.label, seeds=seeds)
+    if shard is not None:
+        if indices:
+            table.add_note(
+                f"shard {shard} selects {len(indices)} of {len(points)} "
+                f"point(s): {indices[0]}..{indices[-1]}"
+            )
+        else:
+            table.add_note(
+                f"shard {shard} selects no points of this {len(points)}-point grid"
+            )
+    table.add_note(
+        f"master seed {spec.master_seed}; run seeds are "
+        "derive_seed(master, 'run', seed_label, i) for i in 0..repetitions-1"
+    )
+    return table
+
+
 def _run_run_spec(args: argparse.Namespace) -> int:
+    from .dist.progress import print_point_progress
+
     spec = load_spec(args.spec_file)
-    run = run_spec(spec)
+    if args.dry_run:
+        print(_dry_run_table(spec, args.shard).render())
+        return 0
+    run = run_spec(
+        spec,
+        workers=args.workers,
+        shard=args.shard,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        progress=print_point_progress if args.progress else None,
+    )
     table = run.to_table()
     print(table.render())
     if args.save:
@@ -252,8 +373,11 @@ def _run_run_spec(args: argparse.Namespace) -> int:
 
 
 def _run_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
     table = run_experiment_by_id(
-        args.experiment_id, quick=not args.full, master_seed=args.seed
+        args.experiment_id, quick=not args.full, master_seed=args.seed, **kwargs
     )
     print(table.render())
     if args.save:

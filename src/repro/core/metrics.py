@@ -15,9 +15,10 @@ seeds (mean / min / max / standard deviation of the headline quantities).
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 __all__ = ["RoundRecord", "RunResult", "RunAggregate", "aggregate_runs"]
 
@@ -61,6 +62,33 @@ class RoundRecord:
     def newly_informed(self) -> int:
         """Nodes that became informed during this round."""
         return self.informed_after - self.informed_before
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict (numpy scalars coerced to plain Python)."""
+        return {
+            "round_index": int(self.round_index),
+            "informed_before": int(self.informed_before),
+            "informed_after": int(self.informed_after),
+            "push_transmissions": int(self.push_transmissions),
+            "pull_transmissions": int(self.pull_transmissions),
+            "channels_opened": int(self.channels_opened),
+            "lost_transmissions": int(self.lost_transmissions),
+            "phase": str(self.phase),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`; round-trips bit-exactly."""
+        return cls(
+            round_index=data["round_index"],
+            informed_before=data["informed_before"],
+            informed_after=data["informed_after"],
+            push_transmissions=data["push_transmissions"],
+            pull_transmissions=data["pull_transmissions"],
+            channels_opened=data["channels_opened"],
+            lost_transmissions=data.get("lost_transmissions", 0),
+            phase=data.get("phase", ""),
+        )
 
 
 @dataclass
@@ -114,6 +142,61 @@ class RunResult:
     def transmissions_by_phase(self) -> Dict[str, int]:
         """Total transmissions per protocol phase label."""
         return dict(self.phase_transmissions)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict of the whole run, including per-round history.
+
+        All counters are coerced to plain Python scalars and ``metadata`` is
+        deep-copied, so the payload survives ``json.dumps`` untouched.  The
+        distributed sweep executor uses this as the wire/checkpoint format;
+        :meth:`from_dict` reconstructs a result that compares equal to the
+        original down to per-round history.
+        """
+        return {
+            "n": int(self.n),
+            "protocol": str(self.protocol),
+            "source": int(self.source),
+            "success": bool(self.success),
+            "rounds_executed": int(self.rounds_executed),
+            "rounds_to_completion": (
+                None
+                if self.rounds_to_completion is None
+                else int(self.rounds_to_completion)
+            ),
+            "total_push_transmissions": int(self.total_push_transmissions),
+            "total_pull_transmissions": int(self.total_pull_transmissions),
+            "total_channels_opened": int(self.total_channels_opened),
+            "total_lost_transmissions": int(self.total_lost_transmissions),
+            "final_informed": int(self.final_informed),
+            "history": [record.to_dict() for record in self.history],
+            "phase_transmissions": {
+                str(phase): int(count)
+                for phase, count in self.phase_transmissions.items()
+            },
+            "metadata": copy.deepcopy(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunResult":
+        """Inverse of :meth:`to_dict`; round-trips bit-exactly."""
+        return cls(
+            n=data["n"],
+            protocol=data["protocol"],
+            source=data["source"],
+            success=data["success"],
+            rounds_executed=data["rounds_executed"],
+            rounds_to_completion=data.get("rounds_to_completion"),
+            total_push_transmissions=data["total_push_transmissions"],
+            total_pull_transmissions=data["total_pull_transmissions"],
+            total_channels_opened=data["total_channels_opened"],
+            total_lost_transmissions=data["total_lost_transmissions"],
+            final_informed=data["final_informed"],
+            history=[
+                RoundRecord.from_dict(record) for record in data.get("history", [])
+            ],
+            phase_transmissions=dict(data.get("phase_transmissions", {})),
+            metadata=copy.deepcopy(dict(data.get("metadata", {}))),
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,49 @@
+"""Distributed execution of scenario sweeps.
+
+``repro.dist`` scales :func:`repro.spec.run_spec` horizontally: it splits a
+scenario's row-major sweep grid into deterministic shards
+(:mod:`~repro.dist.partition`), fans the points out over worker processes
+(:class:`~repro.dist.executor.ParallelScenarioExecutor`), checkpoints each
+completed point so interrupted sweeps resume where they stopped
+(:mod:`~repro.dist.checkpoint`), and merges worker outputs back into one
+:class:`~repro.spec.ScenarioRun` that is **bit-identical** to the serial
+run — the label-keyed seed derivation makes every point's randomness
+independent of where (and in which order) it executes.
+
+The usual entry point is ``run_spec(spec, workers=N, ...)``; this package is
+the machinery behind it, exposed for callers that need shard-level control
+(e.g. running one shard per host and merging with :func:`merge_runs`).
+"""
+
+from .checkpoint import CHECKPOINT_SCHEMA, CheckpointStore, spec_fingerprint
+from .executor import ParallelScenarioExecutor, merge_runs
+from .partition import (
+    ExpandedPoint,
+    expand_points,
+    parse_shard,
+    select_indices,
+    shard_indices,
+)
+from .progress import (
+    PointProgress,
+    ProgressCallback,
+    log_point_progress,
+    print_point_progress,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointStore",
+    "spec_fingerprint",
+    "ParallelScenarioExecutor",
+    "merge_runs",
+    "ExpandedPoint",
+    "expand_points",
+    "parse_shard",
+    "select_indices",
+    "shard_indices",
+    "PointProgress",
+    "ProgressCallback",
+    "log_point_progress",
+    "print_point_progress",
+]

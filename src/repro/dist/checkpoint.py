@@ -1,0 +1,118 @@
+"""Per-point checkpoint files for interruptible sweeps.
+
+A sweep executed with a checkpoint directory writes one JSON file per
+completed grid point (``point-000042.json``).  Each file carries the point's
+results (via :meth:`RunResult.to_dict`, which round-trips bit-exactly), its
+axis values and baked label, and a **fingerprint** of the full-grid scenario
+spec.  Resuming re-runs only the points without a matching file; the
+fingerprint guards against accidentally resuming a directory that belongs to
+a different scenario, which would otherwise silently merge unrelated
+results.
+
+Files are written atomically (temp file + rename) so a run killed mid-write
+never leaves a truncated checkpoint behind — at worst the interrupted point
+re-runs on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+from ..core.errors import ConfigurationError
+from ..spec.scenario import ScenarioSpec
+
+__all__ = ["CHECKPOINT_SCHEMA", "spec_fingerprint", "CheckpointStore"]
+
+#: Version written into checkpoint files; bumped on breaking payload changes.
+CHECKPOINT_SCHEMA = 1
+
+PathLike = Union[str, Path]
+
+
+def spec_fingerprint(spec: ScenarioSpec) -> str:
+    """A stable content hash of the full-grid scenario spec.
+
+    Key-sorted canonical JSON hashed with SHA-256: two specs fingerprint
+    equal iff their serialised forms are identical, so a checkpoint
+    directory can only be resumed by the exact scenario that produced it.
+    """
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """One checkpoint directory bound to one scenario.
+
+    Parameters
+    ----------
+    directory:
+        Where the per-point files live; created (with parents) on demand.
+    spec:
+        The full-grid scenario; its fingerprint is stamped into every file
+        and verified on load.
+    """
+
+    def __init__(self, directory: PathLike, spec: ScenarioSpec) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = spec_fingerprint(spec)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, index: int) -> Path:
+        """The checkpoint file for one grid point."""
+        return self.directory / f"point-{index:06d}.json"
+
+    def save(self, payload: Dict[str, object]) -> Path:
+        """Atomically write one completed point's payload.
+
+        ``payload`` is the executor's wire format (index, values, label,
+        spec, elapsed_seconds, results); the store adds the schema version
+        and the scenario fingerprint.
+        """
+        index = payload["index"]
+        record = {
+            "schema_version": CHECKPOINT_SCHEMA,
+            "fingerprint": self.fingerprint,
+            **payload,
+        }
+        destination = self.path_for(int(index))
+        temporary = destination.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(record))
+        os.replace(temporary, destination)
+        return destination
+
+    def load(self) -> Dict[int, Dict[str, object]]:
+        """All checkpointed point payloads, keyed by grid index.
+
+        Raises :class:`ConfigurationError` when the directory holds
+        checkpoints of a *different* scenario (fingerprint mismatch) or of a
+        newer checkpoint schema; a corrupt (e.g. truncated) file also fails
+        loudly rather than silently re-running the point, so operators see
+        why a resume did less — or more — work than expected.
+        """
+        completed: Dict[int, Dict[str, object]] = {}
+        for path in sorted(self.directory.glob("point-*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                raise ConfigurationError(
+                    f"checkpoint file {path} is unreadable ({error}); delete it "
+                    "to re-run that point"
+                ) from error
+            version = record.get("schema_version", 1)
+            if not isinstance(version, int) or version > CHECKPOINT_SCHEMA:
+                raise ConfigurationError(
+                    f"checkpoint file {path} was written by schema "
+                    f"{version!r}; this build reads up to {CHECKPOINT_SCHEMA}"
+                )
+            if record.get("fingerprint") != self.fingerprint:
+                raise ConfigurationError(
+                    f"checkpoint directory {self.directory} belongs to a "
+                    "different scenario (spec fingerprint mismatch); point it "
+                    "at a fresh directory or delete the stale checkpoints"
+                )
+            completed[int(record["index"])] = record
+        return completed

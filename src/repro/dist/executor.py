@@ -1,0 +1,307 @@
+"""Parallel execution of scenario sweeps over worker processes.
+
+:class:`ParallelScenarioExecutor` fans the grid points of one
+:class:`~repro.spec.ScenarioSpec` out over a :mod:`multiprocessing` pool.
+Nothing unpicklable crosses the process boundary: each task is the point's
+index, axis values, baked label, and its **serialised single-point spec**;
+the worker rebuilds the graph, protocol, and failure model from the spec
+through the registries and returns the results as JSON-safe dicts
+(:meth:`RunResult.to_dict`).  Because the seeding discipline keys every
+random stream off the master seed and the point's label — never off
+execution order or worker identity — a point produces bit-identical results
+no matter which process runs it, which makes the merged
+:class:`~repro.spec.ScenarioRun` **bit-identical to the serial**
+``run_spec`` result (asserted down to per-round history in
+``tests/test_dist.py``).
+
+Checkpoints (optional) are written by the parent as points complete, so an
+interrupted sweep resumes where it stopped; sharded runs
+(:func:`~repro.dist.partition.select_indices`) execute a deterministic
+subset of the grid, and :func:`merge_runs` reassembles shard outputs into
+the one full-grid run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import ConfigurationError
+from ..core.metrics import RunResult
+from ..spec.run import PointRun, ScenarioRun
+from ..spec.scenario import ScenarioSpec
+from .checkpoint import CheckpointStore, PathLike
+from .partition import ExpandedPoint, ShardLike, expand_points, parse_shard, select_indices
+from .progress import PointProgress, ProgressCallback
+
+__all__ = ["ParallelScenarioExecutor", "merge_runs"]
+
+
+#: Wire format of one task: (index, values, label, single-point spec dict).
+_Task = Tuple[int, Dict[str, object], str, Dict[str, object]]
+
+#: Per-worker-process runner, created once by the pool initializer so graph
+#: caches persist across the tasks a worker executes.
+_WORKER_RUNNER = None
+
+
+def _build_runner(runner_kwargs: Dict[str, object]):
+    from ..experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(**runner_kwargs)
+
+
+def _init_worker(runner_kwargs: Dict[str, object]) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = _build_runner(runner_kwargs)
+
+
+def _execute_task(runner, task: _Task) -> Dict[str, object]:
+    """Run one grid point and return its checkpoint/wire payload."""
+    index, values, label, spec_dict = task
+    started = time.perf_counter()
+    point = ExpandedPoint(
+        index=index,
+        values=values,
+        label=label,
+        spec=ScenarioSpec.from_dict(spec_dict),
+    )
+    point_run = runner.run_point(point)
+    elapsed = time.perf_counter() - started
+    return {
+        "index": index,
+        "values": values,
+        "label": label,
+        "spec": spec_dict,
+        "elapsed_seconds": elapsed,
+        "results": [result.to_dict() for result in point_run.results],
+    }
+
+
+def _run_task_in_worker(task: _Task) -> Dict[str, object]:
+    return _execute_task(_WORKER_RUNNER, task)
+
+
+def _point_run_from_payload(payload: Dict[str, object]) -> PointRun:
+    """Rebuild a :class:`PointRun` from the wire/checkpoint payload.
+
+    Fresh and resumed points both pass through this single deserialisation
+    path, so a resumed sweep is indistinguishable from an uninterrupted one.
+    """
+    return PointRun(
+        index=int(payload["index"]),
+        values=dict(payload["values"]),
+        label=payload["label"],
+        spec=ScenarioSpec.from_dict(payload["spec"]),
+        results=[RunResult.from_dict(result) for result in payload["results"]],
+    )
+
+
+@dataclass
+class ParallelScenarioExecutor:
+    """Shard a scenario grid across worker processes and merge the results.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``1`` executes in-process (no pool) but still
+        routes every point through the serialised wire format, so the output
+        is byte-for-byte what a multi-process run produces.
+    checkpoint_dir:
+        When set, one checkpoint file per completed point is written there
+        (see :class:`CheckpointStore`); an interrupted sweep keeps them.
+    resume:
+        Skip points whose checkpoint file already exists (requires
+        ``checkpoint_dir``).  The scenario fingerprint is verified, so a
+        directory from a different spec fails loudly.
+    progress:
+        Optional per-point callback (see :mod:`repro.dist.progress`).
+    mp_context:
+        :func:`multiprocessing.get_context` method name (``"fork"``,
+        ``"spawn"``, ...); ``None`` uses the platform default.
+    """
+
+    workers: int = 1
+    checkpoint_dir: Optional[PathLike] = None
+    resume: bool = False
+    progress: Optional[ProgressCallback] = None
+    mp_context: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be a positive int, got {self.workers!r}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume=True requires a checkpoint directory"
+            )
+
+    def run(
+        self,
+        spec: ScenarioSpec,
+        shard: Optional[ShardLike] = None,
+        points: Optional[Union[slice, Iterable[int]]] = None,
+    ) -> ScenarioRun:
+        """Execute (the selected slice of) ``spec`` and merge the results.
+
+        Returns a :class:`ScenarioRun` whose points are in grid order
+        regardless of completion order; ``run.provenance`` records the
+        worker count, shard layout, resume statistics, and wall-clock.
+        """
+        started = time.perf_counter()
+        all_points = expand_points(spec)
+        total = len(all_points)
+        indices = select_indices(total, shard=shard, points=points)
+        selected = [all_points[i] for i in indices]
+
+        store: Optional[CheckpointStore] = None
+        completed: Dict[int, Dict[str, object]] = {}
+        if self.checkpoint_dir is not None:
+            store = CheckpointStore(self.checkpoint_dir, spec)
+            if self.resume:
+                completed = store.load()
+
+        point_runs: Dict[int, PointRun] = {}
+        resumed = 0
+        for point in selected:
+            payload = completed.get(point.index)
+            if payload is None:
+                continue
+            point_runs[point.index] = _point_run_from_payload(payload)
+            resumed += 1
+            self._emit(point.index, total, point.label, 0.0, source="checkpoint")
+
+        pending = [p for p in selected if p.index not in point_runs]
+        tasks: List[_Task] = [
+            (p.index, p.values, p.label, p.spec.to_dict()) for p in pending
+        ]
+        runner_kwargs = {
+            "master_seed": spec.master_seed,
+            "repetitions": spec.repetitions,
+            "engine": spec.engine,
+            "batch": spec.batch,
+        }
+        for payload in self._execute(tasks, runner_kwargs):
+            if store is not None:
+                store.save(payload)
+            point_runs[int(payload["index"])] = _point_run_from_payload(payload)
+            self._emit(
+                int(payload["index"]),
+                total,
+                payload["label"],
+                float(payload["elapsed_seconds"]),
+            )
+
+        run = ScenarioRun(
+            spec=spec,
+            points=[point_runs[index] for index in sorted(point_runs)],
+        )
+        run.provenance = {
+            "workers": self.workers,
+            "shard": list(parse_shard(shard)) if shard is not None else None,
+            "points_total": total,
+            "points_selected": len(selected),
+            "points_run": len(pending),
+            "points_resumed": resumed,
+            "wall_clock_seconds": round(time.perf_counter() - started, 6),
+            "checkpoint_dir": (
+                str(self.checkpoint_dir) if self.checkpoint_dir is not None else None
+            ),
+        }
+        return run
+
+    # -- internals --------------------------------------------------------------
+
+    def _emit(
+        self, index: int, total: int, label: str, elapsed: float, source: str = "run"
+    ) -> None:
+        if self.progress is not None:
+            self.progress(
+                PointProgress(
+                    index=index,
+                    total=total,
+                    label=label,
+                    elapsed_seconds=elapsed,
+                    source=source,
+                )
+            )
+
+    def _execute(
+        self, tasks: List[_Task], runner_kwargs: Dict[str, object]
+    ) -> Iterable[Dict[str, object]]:
+        if not tasks:
+            return
+        if self.workers == 1:
+            runner = _build_runner(runner_kwargs)
+            for task in tasks:
+                yield _execute_task(runner, task)
+            return
+        context = multiprocessing.get_context(self.mp_context)
+        pool = context.Pool(
+            processes=min(self.workers, len(tasks)),
+            initializer=_init_worker,
+            initargs=(runner_kwargs,),
+        )
+        try:
+            # chunksize=1 so slow points do not pin fast ones behind them;
+            # completion order is nondeterministic, merging is by index.
+            yield from pool.imap_unordered(_run_task_in_worker, tasks, chunksize=1)
+        finally:
+            pool.terminate()
+            pool.join()
+
+
+def merge_runs(runs: Sequence[ScenarioRun]) -> ScenarioRun:
+    """Reassemble shard outputs into the one full-grid :class:`ScenarioRun`.
+
+    All runs must come from the *same* scenario; together they must cover
+    every grid point exactly once (the partition invariant).  The merged
+    result is independent of the order the shards are given in — points are
+    keyed by grid index — and bit-identical to a serial ``run_spec``.
+    """
+    if not runs:
+        raise ConfigurationError("merge_runs needs at least one ScenarioRun")
+    spec = runs[0].spec
+    reference = spec.to_dict()
+    for run in runs[1:]:
+        if run.spec.to_dict() != reference:
+            raise ConfigurationError(
+                "cannot merge runs of different scenarios "
+                f"({run.spec.name!r} vs {spec.name!r})"
+            )
+    merged: Dict[int, PointRun] = {}
+    for run in runs:
+        for point in run.points:
+            if point.index in merged:
+                raise ConfigurationError(
+                    f"grid point {point.index} appears in more than one shard; "
+                    "shards must be disjoint"
+                )
+            merged[point.index] = point
+    expected = spec.sweep.size if spec.sweep is not None else 1
+    missing = sorted(set(range(expected)) - set(merged))
+    if missing:
+        raise ConfigurationError(
+            f"merged shards do not cover the full grid; missing point "
+            f"index(es) {missing[:10]}{'...' if len(missing) > 10 else ''} "
+            f"of {expected}"
+        )
+    result = ScenarioRun(
+        spec=spec, points=[merged[index] for index in sorted(merged)]
+    )
+    shards = [run.provenance for run in runs if run.provenance]
+    result.provenance = {
+        "merged_from": len(runs),
+        "workers": max(
+            (int(p.get("workers", 1)) for p in shards), default=1
+        ),
+        "shards": [p.get("shard") for p in shards] or None,
+        "points_total": expected,
+        "wall_clock_seconds": round(
+            sum(float(p.get("wall_clock_seconds", 0.0)) for p in shards), 6
+        ),
+    }
+    return result

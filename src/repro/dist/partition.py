@@ -1,0 +1,168 @@
+"""Deterministic partitioning of scenario sweep grids.
+
+A :class:`~repro.spec.ScenarioSpec` sweep expands to a row-major grid of
+single-point specs.  This module turns that grid into the shared unit of
+distributable work: :func:`expand_points` materialises every point with its
+index, axis values, and **baked** run label (the label feeds the run-seed
+derivation, so baking it here makes every point self-contained and
+executable on any worker), and the shard helpers split the index space
+deterministically so ``k`` independent processes — or hosts — each run a
+disjoint slice and their merged output covers every point exactly once.
+
+Shards are contiguous balanced ranges: shard ``i`` of ``k`` owns indices
+``[floor(i*total/k), floor((i+1)*total/k))``.  For any ``k`` the shards
+concatenate back to ``range(total)``, which is the partition invariant the
+merge layer relies on (asserted in ``tests/test_dist.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.errors import ConfigurationError
+from ..spec.scenario import ScenarioSpec
+
+__all__ = [
+    "ExpandedPoint",
+    "expand_points",
+    "parse_shard",
+    "shard_indices",
+    "select_indices",
+]
+
+#: A shard designator: ``(shard_index, shard_count)`` or an ``"i/k"`` string.
+ShardLike = Union[str, Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class ExpandedPoint:
+    """One grid point of a scenario, ready to execute anywhere.
+
+    Attributes
+    ----------
+    index:
+        Position in row-major grid order (stable across processes).
+    values:
+        Axis key -> value for this point (empty for sweep-less scenarios).
+    label:
+        The formatted run label; identical to ``spec.label`` (baked).
+    spec:
+        Fully-resolved single-point spec with the baked label — serialising
+        it and rebuilding on a worker reproduces this point bit-exactly.
+    """
+
+    index: int
+    values: Dict[str, object]
+    label: str
+    spec: ScenarioSpec
+
+
+def expand_points(spec: ScenarioSpec) -> List[ExpandedPoint]:
+    """Expand ``spec``'s grid row-major into self-contained points.
+
+    This is the single expansion path shared by the serial runner
+    (:meth:`ExperimentRunner.run_scenario`), the parallel executor, and the
+    CLI dry-run — the label baking here is part of the reproducibility
+    contract, so it must not be duplicated elsewhere.
+    """
+    points: List[ExpandedPoint] = []
+    for index, (values, resolved) in enumerate(spec.expand()):
+        label = resolved.run_label(values)
+        # Bake the formatted label into the point spec: the raw template may
+        # reference sweep-axis keys (e.g. "{loss}") that no longer exist once
+        # the sweep is resolved away, and the label feeds the run-seed
+        # derivation, so only the baked form is replayable on its own.
+        resolved = replace(resolved, label=label)
+        points.append(
+            ExpandedPoint(index=index, values=values, label=label, spec=resolved)
+        )
+    return points
+
+
+def parse_shard(shard: ShardLike) -> Tuple[int, int]:
+    """Normalise a shard designator to ``(shard_index, shard_count)``.
+
+    Accepts an ``"i/k"`` string (the CLI form) or a 2-tuple/list of ints.
+    ``shard_index`` is zero-based; ``0 <= shard_index < shard_count``.
+    """
+    if isinstance(shard, str):
+        parts = shard.split("/")
+        if len(parts) != 2:
+            raise ConfigurationError(
+                f"shard must look like 'i/k' (e.g. '0/4'), got {shard!r}"
+            )
+        try:
+            index, count = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ConfigurationError(
+                f"shard must hold two integers 'i/k', got {shard!r}"
+            ) from None
+    else:
+        try:
+            index, count = shard
+            index, count = int(index), int(count)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"shard must be an 'i/k' string or an (index, count) pair, "
+                f"got {shard!r}"
+            ) from None
+    if count < 1:
+        raise ConfigurationError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ConfigurationError(
+            f"shard index must satisfy 0 <= index < count, got {index}/{count}"
+        )
+    return index, count
+
+
+def shard_indices(total: int, shard_index: int, shard_count: int) -> range:
+    """The contiguous slice of ``range(total)`` owned by one shard.
+
+    Balanced to within one point; concatenating the ranges for
+    ``shard_index = 0 .. shard_count-1`` yields exactly ``range(total)`` for
+    any ``shard_count`` (including ``shard_count > total``, where trailing
+    shards are empty).
+    """
+    if total < 0:
+        raise ConfigurationError(f"total must be >= 0, got {total}")
+    shard_index, shard_count = parse_shard((shard_index, shard_count))
+    start = (shard_index * total) // shard_count
+    stop = ((shard_index + 1) * total) // shard_count
+    return range(start, stop)
+
+
+def select_indices(
+    total: int,
+    shard: Optional[ShardLike] = None,
+    points: Optional[Union[slice, Iterable[int]]] = None,
+) -> List[int]:
+    """The ascending grid indices selected by ``points`` and/or ``shard``.
+
+    ``points`` (a slice or explicit index collection) filters the grid
+    first; ``shard`` then takes its contiguous slice of the *selected* list,
+    so the two compose (shard a hand-picked subset across workers).  Out of
+    range or duplicate explicit indices are rejected.
+    """
+    selected = list(range(total))
+    if points is not None:
+        if isinstance(points, slice):
+            selected = selected[points]
+        else:
+            explicit = [int(index) for index in points]
+            out_of_range = [i for i in explicit if not 0 <= i < total]
+            if out_of_range:
+                raise ConfigurationError(
+                    f"point index(es) {sorted(set(out_of_range))} out of range "
+                    f"for a {total}-point grid"
+                )
+            if len(set(explicit)) != len(explicit):
+                raise ConfigurationError(
+                    "explicit point indices contain duplicates"
+                )
+            selected = sorted(explicit)
+    if shard is not None:
+        shard_index, shard_count = parse_shard(shard)
+        window = shard_indices(len(selected), shard_index, shard_count)
+        selected = [selected[i] for i in window]
+    return selected

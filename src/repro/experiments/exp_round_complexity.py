@@ -16,9 +16,12 @@ used to contain.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..spec.run import run_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dist.progress import ProgressCallback
 from ..spec.scenario import GraphSpec, ProtocolSpec, ScenarioSpec, SweepAxis, SweepSpec
 from .tables import Table
 from .workloads import DEFAULT_DEGREE, SweepSizes, full_sizes, quick_sizes
@@ -63,10 +66,17 @@ def run_experiment(
     master_seed: int = 2008,
     degree: int = DEFAULT_DEGREE,
     sizes: Optional[SweepSizes] = None,
+    workers: Optional[int] = None,
+    progress: Optional["ProgressCallback"] = None,
 ) -> Table:
-    """Run the E1 sweep and return its table."""
+    """Run the E1 sweep and return its table.
+
+    ``workers`` fans the grid points out over that many processes through
+    :mod:`repro.dist`; the table is built from results bit-identical to the
+    serial run (only ``metadata["distributed"]`` records the difference).
+    """
     spec = scenario(quick=quick, master_seed=master_seed, degree=degree, sizes=sizes)
-    run = run_spec(spec)
+    run = run_spec(spec, workers=workers, progress=progress)
 
     table = Table(
         title=f"{TITLE} (d = {degree})",
@@ -96,4 +106,6 @@ def run_experiment(
         "rounds/log2(n) column should stay roughly flat as n grows."
     )
     table.metadata["spec"] = spec.to_dict()
+    if run.provenance:
+        table.metadata["distributed"] = dict(run.provenance)
     return table

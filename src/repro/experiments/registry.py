@@ -7,6 +7,7 @@ for that mapping.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict
 
 from ..core.errors import ExperimentError
@@ -53,11 +54,25 @@ def available_experiments() -> Dict[str, str]:
 
 
 def run_experiment_by_id(experiment_id: str, quick: bool = True, **kwargs) -> Table:
-    """Run one experiment by id and return its table."""
+    """Run one experiment by id and return its table.
+
+    Keyword arguments are validated against the experiment's signature so
+    an option only some experiments support (e.g. ``workers`` for the
+    spec-driven parallel sweeps) fails with a clear message instead of a
+    raw ``TypeError``.
+    """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         )
     _, runner = EXPERIMENTS[key]
+    accepted = inspect.signature(runner).parameters
+    unsupported = sorted(set(kwargs) - set(accepted))
+    if unsupported:
+        raise ExperimentError(
+            f"experiment {key} does not support option(s) "
+            f"{', '.join(map(repr, unsupported))}; accepted: "
+            f"{', '.join(accepted)}"
+        )
     return runner(quick=quick, **kwargs)

@@ -17,7 +17,7 @@ row is bit-identical to the corresponding per-seed run).
 from __future__ import annotations
 
 import copy
-import dataclasses
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
@@ -35,7 +35,9 @@ from ..graphs.registry import build_graph, graph_needs_rng
 from ..protocols.base import BroadcastProtocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports tables)
-    from ..spec.run import ScenarioRun
+    from ..dist.partition import ExpandedPoint
+    from ..dist.progress import ProgressCallback
+    from ..spec.run import PointRun, ScenarioRun
     from ..spec.scenario import GraphSpec, ScenarioSpec
 
 __all__ = ["ProtocolFactory", "ExperimentRunner", "repeat_broadcast"]
@@ -255,16 +257,12 @@ class ExperimentRunner:
             self._graph_cache[key] = graph
         return self._graph_cache[key]
 
-    def run_scenario(self, spec: "ScenarioSpec") -> "ScenarioRun":
-        """Spec-driven entry point: execute every grid point of ``spec``.
+    def check_spec_knobs(self, spec: "ScenarioSpec") -> None:
+        """Reject a spec whose seed/engine knobs differ from this runner's.
 
-        The runner's own seed/engine knobs must match the spec's (they feed
-        the same derivations); :func:`repro.spec.run_spec` constructs a
-        matching runner automatically.  Each point's fully-resolved
-        single-point spec is recorded in ``RunResult.metadata["spec"]``.
+        Both feed the same derivations, so a mismatch would silently produce
+        results belonging to a different scenario.
         """
-        from ..spec.run import PointRun, ScenarioRun
-
         for attribute in ("master_seed", "engine", "batch"):
             if getattr(spec, attribute) != getattr(self, attribute):
                 raise ConfigurationError(
@@ -273,51 +271,103 @@ class ExperimentRunner:
                     "runner from the spec or use repro.spec.run_spec"
                 )
 
+    @staticmethod
+    def seed_label_for(
+        point_spec: "ScenarioSpec", label: str, node_count: Optional[int] = None
+    ) -> Optional[str]:
+        """The run-seed label of one resolved grid point.
+
+        ``connected-random-regular`` points with plain ``{n, d}`` parameters
+        use the hand-wired discipline of :meth:`broadcast`
+        (``"{label}-{n}-{d}"``) and need no graph; every other family keys
+        off the materialised node count — pass ``node_count`` for those, or
+        receive ``None`` (the CLI dry-run uses that to show which points
+        need a graph build before their seeds are known).
+        """
+        params = point_spec.graph.params
+        if point_spec.graph.family == "connected-random-regular" and set(params) == {
+            "n",
+            "d",
+        }:
+            return f"{label}-{params['n']}-{params['d']}"
+        if node_count is None:
+            return None
+        return f"{label}-{node_count}"
+
+    def run_point(self, point: "ExpandedPoint") -> "PointRun":
+        """Execute one expanded grid point (the distributable unit of work).
+
+        Shared by the serial :meth:`run_scenario` loop and the worker side
+        of :class:`repro.dist.ParallelScenarioExecutor` — the point's label
+        keys all run seeds, so the results are bit-identical no matter which
+        process (or host) executes it.  The point's fully-resolved spec is
+        recorded in every ``RunResult.metadata["spec"]``.
+        """
+        from ..spec.run import PointRun
+
+        spec = point.spec
+        self.check_spec_knobs(spec)
+        graph = self.spec_graph(spec.graph)
+        seed_label = self.seed_label_for(spec, point.label, graph.node_count)
+        seeds = self.run_seeds(seed_label, spec.repetitions)
+        config = self._resolved_config(spec.simulation_config())
+        results = repeat_broadcast(
+            graph=graph,
+            protocol_factory=spec.protocol.factory(),
+            n_estimate=(
+                spec.protocol.n_estimate
+                if spec.protocol.n_estimate is not None
+                else graph.node_count
+            ),
+            seeds=seeds,
+            config=config,
+            failure_model=spec.failure.build(),
+            source=spec.source,
+            batch=self.batch,
+        )
+        point_dict = spec.to_dict()
+        for result in results:
+            result.metadata["spec"] = copy.deepcopy(point_dict)
+        return PointRun(
+            index=point.index,
+            values=dict(point.values),
+            label=point.label,
+            spec=spec,
+            results=results,
+        )
+
+    def run_scenario(
+        self,
+        spec: "ScenarioSpec",
+        progress: Optional["ProgressCallback"] = None,
+    ) -> "ScenarioRun":
+        """Spec-driven entry point: execute every grid point of ``spec``.
+
+        The runner's own seed/engine knobs must match the spec's (they feed
+        the same derivations); :func:`repro.spec.run_spec` constructs a
+        matching runner automatically.  Grid expansion and per-point
+        execution are shared with the parallel executor
+        (:mod:`repro.dist`), which is what keeps the two paths
+        bit-identical.  ``progress`` receives one
+        :class:`~repro.dist.progress.PointProgress` per completed point.
+        """
+        from ..dist.partition import expand_points
+        from ..dist.progress import PointProgress
+        from ..spec.run import ScenarioRun
+
+        self.check_spec_knobs(spec)
         run = ScenarioRun(spec=spec)
-        for index, (values, point) in enumerate(spec.expand()):
-            label = point.run_label(values)
-            # Bake the formatted label into the recorded point spec: the raw
-            # template may reference sweep-axis keys (e.g. "{loss}") that no
-            # longer exist once the sweep is resolved away, and the label
-            # feeds the run-seed derivation, so only the baked form makes the
-            # recorded spec replayable on its own.
-            point = dataclasses.replace(point, label=label)
-            graph_params = point.graph.params
-            graph = self.spec_graph(point.graph)
-            if (
-                point.graph.family == "connected-random-regular"
-                and set(graph_params) == {"n", "d"}
-            ):
-                # The hand-wired seed discipline of broadcast().
-                seed_label = f"{label}-{graph_params['n']}-{graph_params['d']}"
-            else:
-                seed_label = f"{label}-{graph.node_count}"
-            seeds = self.run_seeds(seed_label, point.repetitions)
-            config = self._resolved_config(point.simulation_config())
-            results = repeat_broadcast(
-                graph=graph,
-                protocol_factory=point.protocol.factory(),
-                n_estimate=(
-                    point.protocol.n_estimate
-                    if point.protocol.n_estimate is not None
-                    else graph.node_count
-                ),
-                seeds=seeds,
-                config=config,
-                failure_model=point.failure.build(),
-                source=point.source,
-                batch=self.batch,
-            )
-            point_dict = point.to_dict()
-            for result in results:
-                result.metadata["spec"] = copy.deepcopy(point_dict)
-            run.points.append(
-                PointRun(
-                    index=index,
-                    values=values,
-                    label=label,
-                    spec=point,
-                    results=results,
+        points = expand_points(spec)
+        for point in points:
+            started = time.perf_counter()
+            run.points.append(self.run_point(point))
+            if progress is not None:
+                progress(
+                    PointProgress(
+                        index=point.index,
+                        total=len(points),
+                        label=point.label,
+                        elapsed_seconds=time.perf_counter() - started,
+                    )
                 )
-            )
         return run

@@ -17,12 +17,15 @@ summarise everything as a :class:`Table`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
 
 from ..core.metrics import RunAggregate, RunResult, aggregate_runs
 from .scenario import ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments use specs)
+    from ..dist.checkpoint import PathLike
+    from ..dist.partition import ShardLike
+    from ..dist.progress import ProgressCallback
     from ..experiments.tables import Table
 
 __all__ = ["PointRun", "ScenarioRun", "run_spec"]
@@ -61,10 +64,19 @@ class PointRun:
 
 @dataclass
 class ScenarioRun:
-    """All grid points of one executed scenario."""
+    """All grid points of one executed scenario.
+
+    ``provenance`` is populated by the distributed executor (worker count,
+    shard layout, resume statistics, wall-clock); it stays empty for plain
+    serial runs, and :meth:`to_table` copies it into
+    ``Table.metadata["distributed"]`` so saved tables record how they were
+    produced.  Provenance never feeds any computation — the point results
+    of a distributed run are bit-identical to the serial ones.
+    """
 
     spec: ScenarioSpec
     points: List[PointRun] = field(default_factory=list)
+    provenance: Dict[str, object] = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.points)
@@ -109,10 +121,21 @@ class ScenarioRun:
             f"engine: {', '.join(sorted(engines))}"
         )
         table.metadata["spec"] = self.spec.to_dict()
+        if self.provenance:
+            table.metadata["distributed"] = dict(self.provenance)
         return table
 
 
-def run_spec(spec: ScenarioSpec) -> ScenarioRun:
+def run_spec(
+    spec: ScenarioSpec,
+    *,
+    workers: Optional[int] = None,
+    shard: Optional["ShardLike"] = None,
+    points: Optional[Union[slice, Iterable[int]]] = None,
+    checkpoint_dir: Optional["PathLike"] = None,
+    resume: bool = False,
+    progress: Optional["ProgressCallback"] = None,
+) -> ScenarioRun:
     """Execute ``spec`` and return one :class:`PointRun` per grid point.
 
     Expands the sweep grid row-major (first axis outermost), materialises
@@ -121,13 +144,42 @@ def run_spec(spec: ScenarioSpec) -> ScenarioRun:
     vectorized-eligibility rules hold.  Seeds derive from
     ``spec.master_seed`` with the :class:`ExperimentRunner` discipline, so
     results are bit-identical to the equivalent hand-wired runner calls.
+
+    Distributed knobs (all optional; see :mod:`repro.dist`):
+
+    * ``workers`` — fan the grid points out over that many worker processes;
+      the merged result is bit-identical to the serial run.
+    * ``shard`` — ``"i/k"`` (or ``(i, k)``): run only shard ``i`` of ``k``
+      of the grid; merge shard runs with :func:`repro.dist.merge_runs`.
+    * ``points`` — a :class:`slice` or collection of grid indices to run.
+    * ``checkpoint_dir`` / ``resume`` — write one checkpoint file per
+      completed point / skip points already checkpointed there.
+    * ``progress`` — per-point completion callback
+      (:class:`repro.dist.PointProgress`), honoured by both paths.
     """
     from ..experiments.runner import ExperimentRunner
 
-    runner = ExperimentRunner(
-        master_seed=spec.master_seed,
-        repetitions=spec.repetitions,
-        engine=spec.engine,
-        batch=spec.batch,
+    if (
+        workers is None
+        and shard is None
+        and points is None
+        and checkpoint_dir is None
+        and not resume
+    ):
+        runner = ExperimentRunner(
+            master_seed=spec.master_seed,
+            repetitions=spec.repetitions,
+            engine=spec.engine,
+            batch=spec.batch,
+        )
+        return runner.run_scenario(spec, progress=progress)
+
+    from ..dist.executor import ParallelScenarioExecutor
+
+    executor = ParallelScenarioExecutor(
+        workers=workers if workers is not None else 1,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        progress=progress,
     )
-    return runner.run_scenario(spec)
+    return executor.run(spec, shard=shard, points=points)

@@ -1,0 +1,404 @@
+"""Tests for the distributed sweep executor (repro.dist).
+
+Covers the partition invariants (every grid point assigned exactly once for
+any shard count), bit-identical serial/parallel parity down to per-round
+history, merge independence of shard/completion order, checkpoint/resume
+semantics, the RunResult wire format, and the CLI surface
+(``run-spec --workers/--shard/--resume/--dry-run``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ConfigurationError
+from repro.dist import (
+    CheckpointStore,
+    ParallelScenarioExecutor,
+    PointProgress,
+    expand_points,
+    merge_runs,
+    parse_shard,
+    select_indices,
+    shard_indices,
+    spec_fingerprint,
+)
+from repro.experiments.registry import run_experiment_by_id
+from repro.experiments.results_io import load_table_json, save_table_json
+from repro.experiments.runner import ExperimentRunner
+from repro.spec import (
+    FailureSpec,
+    GraphSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_spec,
+    save_spec,
+)
+
+
+def sweep_spec(**overrides) -> ScenarioSpec:
+    """A small two-axis grid (2 protocols x 2 sizes, 2 seeds per point)."""
+    defaults = dict(
+        name="dist-test",
+        graph=GraphSpec(family="connected-random-regular", params={"n": 64, "d": 6}),
+        protocol=ProtocolSpec(name="push"),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis(path="protocol.name", values=("push", "pull"), key="protocol"),
+                SweepAxis(path="graph.params.n", values=(64, 128)),
+            )
+        ),
+        repetitions=2,
+        master_seed=7,
+        label="d-{protocol}",
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def assert_bit_identical(left, right):
+    """Both ScenarioRuns hold equal points and per-round histories."""
+    assert len(left.points) == len(right.points)
+    for ours, theirs in zip(left.points, right.points):
+        assert ours.index == theirs.index
+        assert ours.values == theirs.values
+        assert ours.label == theirs.label
+        assert ours.spec == theirs.spec
+        assert len(ours.results) == len(theirs.results)
+        for a, b in zip(ours.results, theirs.results):
+            assert a.history == b.history  # per-round parity
+            assert a == b  # full dataclass equality (all counters + metadata)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("total", [0, 1, 2, 5, 7, 12, 16, 100])
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 7, 16, 20])
+    def test_every_point_assigned_exactly_once(self, total, count):
+        combined = []
+        for index in range(count):
+            combined.extend(shard_indices(total, index, count))
+        assert combined == list(range(total))
+
+    @pytest.mark.parametrize("total,count", [(10, 3), (7, 2), (100, 16)])
+    def test_shards_balanced_within_one_point(self, total, count):
+        sizes = [len(shard_indices(total, i, count)) for i in range(count)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_parse_shard_forms(self):
+        assert parse_shard("0/4") == (0, 4)
+        assert parse_shard("3/4") == (3, 4)
+        assert parse_shard((1, 2)) == (1, 2)
+
+    @pytest.mark.parametrize("bad", ["4/4", "-1/4", "1/0", "a/b", "1", "1/2/3", (2, 2)])
+    def test_parse_shard_rejects_invalid(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_shard(bad)
+
+    def test_select_indices_slice_and_explicit(self):
+        assert select_indices(6, points=slice(1, 4)) == [1, 2, 3]
+        assert select_indices(6, points=[5, 0, 2]) == [0, 2, 5]
+        with pytest.raises(ConfigurationError, match="out of range"):
+            select_indices(6, points=[6])
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            select_indices(6, points=[1, 1])
+
+    def test_select_indices_shard_composes_with_points(self):
+        # Shard partitions the points-filtered list, not the raw grid.
+        subset = select_indices(10, points=slice(2, 8))  # [2..7]
+        left = select_indices(10, shard="0/2", points=slice(2, 8))
+        right = select_indices(10, shard="1/2", points=slice(2, 8))
+        assert left + right == subset
+
+    def test_expand_points_bakes_labels_row_major(self):
+        points = expand_points(sweep_spec())
+        assert [p.index for p in points] == [0, 1, 2, 3]
+        assert [p.label for p in points] == ["d-push", "d-push", "d-pull", "d-pull"]
+        assert points[1].values == {"protocol": "push", "n": 128}
+        for point in points:
+            assert point.spec.sweep is None
+            assert point.spec.label == point.label  # baked, not the template
+
+
+class TestWireFormat:
+    def test_run_result_round_trips_bit_exactly(self):
+        spec = sweep_spec(
+            failure=FailureSpec(
+                model="independent-loss",
+                params={"transmission_loss_probability": 0.1},
+            )
+        )
+        for result in run_spec(spec).results():
+            restored = type(result).from_dict(
+                json.loads(json.dumps(result.to_dict()))
+            )
+            assert restored == result
+            assert restored.history == result.history
+            assert restored.metadata == result.metadata
+
+    def test_to_dict_is_json_safe(self):
+        result = run_spec(sweep_spec()).results()[0]
+        json.dumps(result.to_dict())  # must not raise
+
+
+class TestParallelParity:
+    def test_two_workers_bit_identical_to_serial(self):
+        spec = sweep_spec()
+        serial = run_spec(spec)
+        parallel = run_spec(spec, workers=2)
+        assert_bit_identical(serial, parallel)
+
+    def test_single_worker_inline_path_bit_identical(self):
+        spec = sweep_spec()
+        assert_bit_identical(run_spec(spec), run_spec(spec, workers=1))
+
+    def test_provenance_recorded_and_table_parity(self):
+        spec = sweep_spec()
+        serial_table = run_spec(spec).to_table()
+        parallel_run = run_spec(spec, workers=2)
+        parallel_table = parallel_run.to_table()
+        assert parallel_run.provenance["workers"] == 2
+        assert parallel_run.provenance["points_total"] == 4
+        assert parallel_table.rows == serial_table.rows
+        assert parallel_table.notes == serial_table.notes
+        assert parallel_table.metadata["spec"] == serial_table.metadata["spec"]
+        assert parallel_table.metadata["distributed"]["workers"] == 2
+        assert "distributed" not in serial_table.metadata
+
+    def test_sweepless_spec_runs_parallel(self):
+        spec = sweep_spec(sweep=None)
+        assert_bit_identical(run_spec(spec), run_spec(spec, workers=2))
+
+
+class TestShardingAndMerge:
+    def test_shard_runs_cover_grid_and_merge_to_serial(self):
+        spec = sweep_spec()
+        serial = run_spec(spec)
+        shards = [run_spec(spec, shard=(i, 3)) for i in range(3)]
+        assert sum(len(s.points) for s in shards) == 4
+        merged = merge_runs(shards)
+        assert_bit_identical(serial, merged)
+
+    def test_merge_independent_of_shard_order(self):
+        spec = sweep_spec()
+        serial = run_spec(spec)
+        shards = [run_spec(spec, shard=(i, 2)) for i in range(2)]
+        assert_bit_identical(serial, merge_runs(list(reversed(shards))))
+
+    def test_merge_rejects_overlapping_shards(self):
+        spec = sweep_spec()
+        shard = run_spec(spec, shard=(0, 2))
+        with pytest.raises(ConfigurationError, match="more than one shard"):
+            merge_runs([shard, shard])
+
+    def test_merge_rejects_incomplete_coverage(self):
+        spec = sweep_spec()
+        with pytest.raises(ConfigurationError, match="missing point"):
+            merge_runs([run_spec(spec, shard=(0, 2))])
+
+    def test_merge_rejects_mixed_scenarios(self):
+        with pytest.raises(ConfigurationError, match="different scenarios"):
+            merge_runs(
+                [
+                    run_spec(sweep_spec(), shard=(0, 2)),
+                    run_spec(sweep_spec(master_seed=8), shard=(1, 2)),
+                ]
+            )
+
+    def test_points_slice_selects_subset(self):
+        spec = sweep_spec()
+        partial = run_spec(spec, points=slice(1, 3))
+        assert [p.index for p in partial.points] == [1, 2]
+        serial = run_spec(spec)
+        assert partial.points[0].results == serial.points[1].results
+
+    def test_cross_host_reassembly_via_shared_checkpoint_dir(self, tmp_path):
+        # The documented multi-host pattern (docs/API.md §9): every shard
+        # checkpoints into (what ends up as) one directory, and a final
+        # resume pass reassembles the full grid without re-running anything.
+        spec = sweep_spec()
+        serial = run_spec(spec)
+        for i in range(2):
+            run_spec(spec, shard=(i, 2), checkpoint_dir=tmp_path)
+        full = run_spec(spec, checkpoint_dir=tmp_path, resume=True)
+        assert_bit_identical(serial, full)
+        assert full.provenance["points_run"] == 0
+        assert full.provenance["points_resumed"] == 4
+
+
+class TestCheckpointResume:
+    def test_resume_skips_exactly_the_checkpointed_points(self, tmp_path):
+        spec = sweep_spec()
+        serial = run_spec(spec)
+        run_spec(spec, points=slice(0, 2), checkpoint_dir=tmp_path)
+        assert len(list(tmp_path.glob("point-*.json"))) == 2
+
+        events = []
+        resumed = run_spec(
+            spec, workers=2, checkpoint_dir=tmp_path, resume=True,
+            progress=events.append,
+        )
+        assert_bit_identical(serial, resumed)
+        by_source = {e.index: e.source for e in events}
+        assert by_source == {0: "checkpoint", 1: "checkpoint", 2: "run", 3: "run"}
+        assert resumed.provenance["points_resumed"] == 2
+        assert resumed.provenance["points_run"] == 2
+        # The resumed run checkpointed the remaining points too.
+        assert len(list(tmp_path.glob("point-*.json"))) == 4
+
+    def test_full_resume_runs_nothing(self, tmp_path):
+        spec = sweep_spec()
+        first = run_spec(spec, checkpoint_dir=tmp_path)
+        again = run_spec(spec, checkpoint_dir=tmp_path, resume=True)
+        assert_bit_identical(first, again)
+        assert again.provenance["points_run"] == 0
+        assert again.provenance["points_resumed"] == 4
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            run_spec(sweep_spec(), resume=True)
+
+    def test_mismatched_spec_fingerprint_rejected(self, tmp_path):
+        run_spec(sweep_spec(), checkpoint_dir=tmp_path)
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            run_spec(
+                sweep_spec(master_seed=8), checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_corrupt_checkpoint_fails_loudly(self, tmp_path):
+        spec = sweep_spec()
+        run_spec(spec, points=slice(0, 1), checkpoint_dir=tmp_path)
+        path = next(tmp_path.glob("point-*.json"))
+        path.write_text("{truncated")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            run_spec(spec, checkpoint_dir=tmp_path, resume=True)
+
+    def test_fingerprint_is_content_addressed(self):
+        assert spec_fingerprint(sweep_spec()) == spec_fingerprint(sweep_spec())
+        assert spec_fingerprint(sweep_spec()) != spec_fingerprint(
+            sweep_spec(master_seed=8)
+        )
+
+    def test_checkpoint_files_are_plain_json(self, tmp_path):
+        spec = sweep_spec()
+        store = CheckpointStore(tmp_path, spec)
+        run_spec(spec, checkpoint_dir=tmp_path)
+        loaded = store.load()
+        assert sorted(loaded) == [0, 1, 2, 3]
+        record = loaded[0]
+        assert record["fingerprint"] == spec_fingerprint(spec)
+        assert record["label"] == "d-push"
+        assert isinstance(record["results"], list)
+
+
+class TestProgressHook:
+    def test_serial_path_emits_one_event_per_point(self):
+        events = []
+        run_spec(sweep_spec(), progress=events.append)
+        assert [e.index for e in events] == [0, 1, 2, 3]
+        assert all(isinstance(e, PointProgress) for e in events)
+        assert all(e.total == 4 and e.source == "run" for e in events)
+        assert all(e.elapsed_seconds >= 0.0 for e in events)
+
+    def test_parallel_path_emits_one_event_per_point(self):
+        events = []
+        run_spec(sweep_spec(), workers=2, progress=events.append)
+        assert sorted(e.index for e in events) == [0, 1, 2, 3]
+        assert {e.label for e in events} == {"d-push", "d-pull"}
+
+
+class TestExecutorValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            ParallelScenarioExecutor(workers=0)
+
+    def test_e1_experiment_supports_workers(self):
+        from repro.experiments.workloads import SweepSizes
+        from repro.experiments.exp_round_complexity import run_experiment
+
+        sizes = SweepSizes(sizes=[64], repetitions=2)
+        serial = run_experiment(sizes=sizes)
+        parallel = run_experiment(sizes=sizes, workers=2)
+        assert parallel.rows == serial.rows
+        assert parallel.metadata["distributed"]["workers"] == 2
+        assert "distributed" not in serial.metadata
+
+    def test_registry_rejects_workers_for_unsupporting_experiments(self):
+        from repro.core.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="workers"):
+            run_experiment_by_id("E2", workers=2)
+
+
+class TestDistributedTablesRoundTrip:
+    def test_saved_distributed_table_round_trips(self, tmp_path):
+        table = run_spec(sweep_spec(), workers=2).to_table()
+        path = save_table_json(table, tmp_path / "table.json")
+        loaded = load_table_json(path)
+        assert loaded.rows == table.rows
+        assert loaded.metadata["distributed"] == table.metadata["distributed"]
+        assert loaded.metadata["spec"] == table.metadata["spec"]
+
+
+class TestCLI:
+    def _write_spec(self, tmp_path) -> Path:
+        return save_spec(sweep_spec(), tmp_path / "spec.json")
+
+    def test_dry_run_prints_grid_without_running(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        assert main(["run-spec", str(path), "--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "dry run: dist-test" in output
+        assert "d-push" in output and "d-pull" in output
+        assert "seeds" in output
+        assert "success_rate" not in output  # nothing executed
+
+    def test_dry_run_honours_shard(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        assert main(["run-spec", str(path), "--dry-run", "--shard", "1/2"]) == 0
+        output = capsys.readouterr().out
+        assert "shard 1/2 selects 2 of 4" in output
+
+    def test_workers_flag_matches_serial_save(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        assert main(["run-spec", str(path), "--save", str(serial_out)]) == 0
+        assert main(
+            ["run-spec", str(path), "--workers", "2", "--save", str(parallel_out)]
+        ) == 0
+        capsys.readouterr()
+        serial = load_table_json(serial_out)
+        parallel = load_table_json(parallel_out)
+        assert parallel.rows == serial.rows
+        assert parallel.metadata["spec"] == serial.metadata["spec"]
+        assert parallel.metadata["distributed"]["workers"] == 2
+
+    def test_resume_flag_round_trip(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        checkpoints = tmp_path / "ckpt"
+        assert main(
+            ["run-spec", str(path), "--checkpoint-dir", str(checkpoints)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["run-spec", str(path), "--checkpoint-dir", str(checkpoints), "--resume"]
+        ) == 0
+        second = capsys.readouterr().out
+        assert first == second  # fully resumed run prints the identical table
+
+    def test_progress_flag_prints_to_stderr(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        assert main(["run-spec", str(path), "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err.count("done in") == 4
+
+    def test_experiment_workers_flag(self, capsys):
+        # E2 has no parallel path: the registry must say so clearly.
+        with pytest.raises(Exception, match="workers"):
+            main(["experiment", "E2", "--workers", "2"])

@@ -68,6 +68,24 @@ class TestSchemaVersioning:
         path = save_table_json(sample_table, tmp_path / "t.json")
         assert load_table_json(path).metadata == {"spec": {"name": "demo"}}
 
+    def test_distributed_provenance_round_trips_and_stays_optional(
+        self, sample_table, tmp_path
+    ):
+        # Tables from parallel sweeps carry a free-form provenance block in
+        # metadata["distributed"]; it is schema-transparent, so v2 records
+        # with and without it (and v1 records predating metadata entirely)
+        # must all keep loading.
+        provenance = {"workers": 4, "shard": [1, 4], "wall_clock_seconds": 1.5}
+        sample_table.metadata["distributed"] = provenance
+        path = save_table_json(sample_table, tmp_path / "dist.json")
+        assert load_table_json(path).metadata["distributed"] == provenance
+
+        plain = tmp_path / "plain.json"
+        plain.write_text(
+            json.dumps({"schema_version": 2, "columns": ["n"], "rows": [{"n": 1}]})
+        )
+        assert load_table_json(plain).metadata == {}
+
     def test_version1_record_without_schema_version_loads(self, tmp_path):
         legacy = tmp_path / "legacy.json"
         legacy.write_text(
