@@ -1,0 +1,31 @@
+"""Shared peak-allocation measurement for the benchmark suite.
+
+One implementation serves ``bench_vectorized.py``, ``bench_batch.py``, and
+``check_regression.py`` so the regression gate and the recorded
+``BENCH_micro.json`` baselines can never drift onto different measurement
+conventions.  Importable both under pytest (which puts this directory on
+``sys.path`` for the bench modules) and from ``check_regression.py`` run as
+a script from anywhere (it inserts this directory itself).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+__all__ = ["traced_peak_mb"]
+
+
+def traced_peak_mb(fn) -> float:
+    """Peak tracemalloc-tracked allocations (MB) while running ``fn``.
+
+    NumPy registers its buffer allocations with tracemalloc, so this captures
+    the engine's array footprint without OS-level RSS noise.  Do not combine
+    with wall-clock timing: tracing adds per-allocation overhead.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1e6

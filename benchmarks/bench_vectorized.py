@@ -21,6 +21,7 @@ import time
 
 import pytest
 
+from _memtrace import traced_peak_mb
 from repro.core.config import SimulationConfig
 from repro.core.engine import run_broadcast
 from repro.core.rng import RandomSource
@@ -32,6 +33,12 @@ from repro.protocols.quasirandom import QuasirandomPushProtocol
 
 SPEEDUP_FLOOR = 10.0
 MILLION_NODE_BUDGET_SECONDS = 30.0
+#: Traced-allocation ceiling for one million-node push broadcast.  The
+#: active-set engine measures ~42 MB (was ~67 MB before the dtype audit and
+#: scratch buffers — see BENCH_micro.json "memory_mb"); the budget leaves
+#: headroom for allocator jitter while still catching a structural
+#: regression (e.g. an accidental int64 state array) long before 2×.
+MILLION_NODE_PEAK_BUDGET_MB = 55.0
 
 
 @pytest.fixture(scope="module")
@@ -103,6 +110,28 @@ def test_push_broadcast_million_nodes():
     )
     assert result.success
     assert elapsed < MILLION_NODE_BUDGET_SECONDS
+
+
+@pytest.mark.perf
+def test_push_million_nodes_peak_memory():
+    # The dtype/scratch audit's acceptance: one million-node push broadcast
+    # must stay memory-lean (int32 CSR + int32 state + reused sampling
+    # buffers).  Timing is asserted separately — tracing skews it.
+    graph = pairing_multigraph(10**6, 8, RandomSource(seed=7))
+    graph.csr()
+    graph.csr_stats()
+    config = SimulationConfig(engine="vectorized", collect_round_history=False)
+
+    def broadcast():
+        result = run_broadcast(
+            graph, PushProtocol(n_estimate=10**6), seed=11, config=config
+        )
+        assert result.success
+
+    broadcast()  # warm the graph-side caches out of the measurement
+    peak_mb = traced_peak_mb(broadcast)
+    print(f"\npush n=1e6 peak traced allocations: {peak_mb:.1f} MB")
+    assert peak_mb < MILLION_NODE_PEAK_BUDGET_MB
 
 
 @pytest.mark.perf

@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Compare current hot-path timings against the recorded BENCH_micro.json.
+"""Compare current hot-path timings *and memory* against BENCH_micro.json.
 
 Re-measures the micro-benchmark medians (graph generation and one broadcast
-per engine/protocol at n = 4096, plus the 20-seed batched push sweep) and
-fails — exit code 1 — if any of them regressed beyond the tolerance factor
-over its recorded baseline.  Intended for CI: it is a coarse tripwire for
-"someone made the hot path 2× slower", not a precision benchmark, so the
-default tolerance is generous to absorb runner jitter.
+per engine/protocol at n = 4096, plus the 20-seed batched push sweep) and the
+tracemalloc peak of the headline allocations (million-node push broadcast,
+batched sweep), and fails — exit code 1 — if any of them regressed beyond the
+tolerance factor over its recorded baseline.  Intended for CI: it is a coarse
+tripwire for "someone made the hot path 2× slower" or "someone doubled the
+engine's footprint" (e.g. a state array silently going back to int64), not a
+precision benchmark, so the default tolerance is generous to absorb runner
+jitter.
 
 Usage::
 
@@ -27,6 +30,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from _memtrace import traced_peak_mb  # noqa: E402
 
 from repro.core.config import SimulationConfig  # noqa: E402
 from repro.core.engine import run_broadcast, run_broadcast_batch  # noqa: E402
@@ -97,6 +103,38 @@ def measure_current() -> dict:
     }
 
 
+def measure_memory() -> dict:
+    """Tracemalloc peaks of the headline engine allocations, name -> MB.
+
+    Kept separate from the timing pass: tracing every allocation skews
+    wall-clock, so a measurement participates in exactly one of the two.
+    """
+    vector = SimulationConfig(engine="vectorized", collect_round_history=False)
+    graph_4096 = random_regular_graph(N, D, RandomSource(seed=2), strategy="repair")
+    graph_4096.csr()
+    graph_4096.csr_stats()
+    graph_million = pairing_multigraph(1_000_000, 8, RandomSource(seed=7))
+    graph_million.csr()
+    graph_million.csr_stats()
+
+    def million_push():
+        run_broadcast(
+            graph_million, PushProtocol(n_estimate=1_000_000), seed=11, config=vector
+        )
+
+    def batched_sweep():
+        run_broadcast_batch(
+            graph_4096, PushProtocol(n_estimate=N), SWEEP_SEEDS, config=vector
+        )
+
+    million_push()  # warm graph-side caches out of the traces
+    batched_sweep()
+    return {
+        "push_broadcast_1e6_peak": traced_peak_mb(million_push),
+        "batched_push_sweep_20x_4096_peak": traced_peak_mb(batched_sweep),
+    }
+
+
 def baseline_map(recorded: dict) -> dict:
     """Flatten the BENCH_micro.json baselines into name -> ms."""
     baselines = recorded["baselines_ms"]
@@ -108,6 +146,17 @@ def baseline_map(recorded: dict) -> dict:
         "algorithm2_vectorized_4096": baselines["algorithm2_broadcast_4096"]["vectorized"],
         "quasirandom_vectorized_4096": baselines["quasirandom_broadcast_4096"]["vectorized"],
         "batched_push_sweep_20x_4096": baselines["batched_push_sweep_20x_4096"]["batched"],
+    }
+
+
+def memory_baseline_map(recorded: dict) -> dict:
+    """Flatten the BENCH_micro.json memory baselines into name -> MB."""
+    memory = recorded["memory_mb"]
+    return {
+        "push_broadcast_1e6_peak": memory["push_broadcast_1e6_peak"]["mb"],
+        "batched_push_sweep_20x_4096_peak": memory[
+            "batched_push_sweep_20x_4096_peak"
+        ]["mb"],
     }
 
 
@@ -124,8 +173,12 @@ def main(argv=None) -> int:
     recorded = json.loads(BASELINE_PATH.read_text())
     baselines = baseline_map(recorded)
     current = measure_current()
+    memory_baselines = memory_baseline_map(recorded)
+    memory_current = measure_memory()
 
-    width = max(len(name) for name in current)
+    width = max(
+        len(name) for name in list(current) + list(memory_current)
+    )
     regressions = []
     print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
     for name, now in current.items():
@@ -136,6 +189,14 @@ def main(argv=None) -> int:
             marker = "  << REGRESSION"
             regressions.append((name, base, now, ratio))
         print(f"{name:<{width}}  {base:>8.1f}ms  {now:>8.1f}ms  {ratio:5.2f}x{marker}")
+    for name, now in memory_current.items():
+        base = memory_baselines[name]
+        ratio = now / base
+        marker = ""
+        if ratio > args.tolerance:
+            marker = "  << REGRESSION"
+            regressions.append((name, base, now, ratio))
+        print(f"{name:<{width}}  {base:>8.1f}MB  {now:>8.1f}MB  {ratio:5.2f}x{marker}")
 
     if regressions:
         print(

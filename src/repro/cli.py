@@ -300,8 +300,55 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _point_node_count(point_spec: ScenarioSpec) -> Optional[int]:
+    """The node count a point's graph will have, when known without a build."""
+    params = point_spec.graph.params
+    if "n" in params:
+        return int(params["n"])
+    if point_spec.graph.family == "hypercube" and "dimension" in params:
+        return 2 ** int(params["dimension"])
+    return None
+
+
+def _predict_point_engine(point_spec: ScenarioSpec, n: Optional[int]) -> str:
+    """Predicted engine (and batching) of one grid point, without any compute.
+
+    Replays the protocol/failure-model parts of the vectorized dispatch
+    rules on a stub graph; the graph-side requirement (contiguous node ids)
+    holds for every registry family, so the prediction matches what
+    ``run_spec`` will select unless a custom graph breaks it.
+    """
+    from .core.engine_vectorized import vectorization_unsupported_reason
+    from .graphs.base import Graph
+
+    config = point_spec.simulation_config()
+    engine = config.engine if config is not None else point_spec.engine
+    if engine == "scalar":
+        return "scalar (forced)"
+    try:
+        protocol = point_spec.protocol.factory()(
+            point_spec.protocol.n_estimate or n or 1024
+        )
+        failure = point_spec.failure.build()
+    except Exception as error:  # pragma: no cover - defensive
+        return f"unknown ({error})"
+    stub = Graph.from_edges(2, [(0, 1)])
+    from .core.config import SimulationConfig
+
+    reason = vectorization_unsupported_reason(
+        stub, protocol, config if config is not None else SimulationConfig(), failure
+    )
+    if reason is not None:
+        return f"scalar ({reason})"
+    if point_spec.repetitions > 1 and point_spec.batch:
+        return "vectorized (batched)"
+    return "vectorized (per-seed)"
+
+
 def _dry_run_table(spec: ScenarioSpec, shard: Optional[str]) -> Table:
-    """The expanded grid as a table: index, axis values, label, run seeds."""
+    """The expanded grid as a table: index, axis values, label, run seeds,
+    predicted engine, and the batch state shape (R, n) with its estimated
+    resident size — enough to predict memory before a million-node launch."""
     from .dist.partition import expand_points, select_indices
     from .experiments.runner import ExperimentRunner
 
@@ -319,8 +366,13 @@ def _dry_run_table(spec: ScenarioSpec, shard: Optional[str]) -> Table:
     table = Table(
         title=f"dry run: {spec.name} ({len(points)} point(s), "
         f"{spec.repetitions} repetition(s) per point)",
-        columns=["point"] + axis_keys + ["label", "seeds"],
+        columns=["point"]
+        + axis_keys
+        + ["label", "seeds", "batch_shape", "est_state_mb", "engine"],
     )
+    #: Bytes per (replication, node) state entry: informed flag (1) +
+    #: informed round (int32) + sorted informed-index vector (int32).
+    state_bytes = 9
     for index in indices:
         point = points[index]
         seed_label = runner.seed_label_for(point.spec, point.label)
@@ -331,7 +383,29 @@ def _dry_run_table(spec: ScenarioSpec, shard: Optional[str]) -> Table:
             # count; a dry run never builds graphs, so show the rule instead.
             else f"derive_seed({spec.master_seed}, 'run', '{point.label}-<node_count>', i)"
         )
-        table.add_row(**point.values, point=index, label=point.label, seeds=seeds)
+        n = _point_node_count(point.spec)
+        engine = _predict_point_engine(point.spec, n)
+        rows = point.spec.repetitions if engine == "vectorized (batched)" else 1
+        if n is None:
+            shape = f"({rows}, ?)"
+            est_mb = "?"
+        else:
+            shape = f"({rows}, {n})"
+            est_mb = f"{rows * n * state_bytes / 1e6:.1f}"
+        table.add_row(
+            **point.values,
+            point=index,
+            label=point.label,
+            seeds=seeds,
+            batch_shape=shape,
+            est_state_mb=est_mb,
+            engine=engine,
+        )
+    table.add_note(
+        "batch_shape is the (R, n) engine state of one point; est_state_mb "
+        f"≈ R·n·{state_bytes} bytes (flags + informed rounds + index pools), "
+        "sampling scratch adds ~16 bytes per pushing node at peak"
+    )
     if shard is not None:
         if indices:
             table.add_note(

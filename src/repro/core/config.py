@@ -56,6 +56,12 @@ class SimulationConfig:
         forces the bulk engine and raises :class:`SimulationError` if the
         combination cannot be vectorized.  See
         :mod:`repro.core.engine_vectorized` for the dispatch rules.
+    batch_row_compaction:
+        Whether the batched vectorized engine remaps completed replications
+        out of its ``(R, n)`` state as they finish (only meaningful together
+        with ``stop_when_informed``).  Results are bit-identical either way;
+        disabling it exists for benchmarking and debugging the compaction
+        machinery itself.
     """
 
     max_rounds: Optional[int] = None
@@ -65,6 +71,7 @@ class SimulationConfig:
     collect_round_history: bool = True
     stop_when_informed: bool = True
     engine: str = "auto"
+    batch_row_compaction: bool = True
 
     def __post_init__(self) -> None:
         if self.max_rounds is not None and self.max_rounds <= 0:
@@ -94,6 +101,7 @@ class SimulationConfig:
             "collect_round_history": self.collect_round_history,
             "stop_when_informed": self.stop_when_informed,
             "engine": self.engine,
+            "batch_row_compaction": self.batch_row_compaction,
         }
         data.update(overrides)
         return SimulationConfig(**data)

@@ -5,19 +5,34 @@ This engine executes the same synchronous random phone call model as
 as arrays (:class:`repro.core.node.VectorState`) and executes each round with
 bulk operations over the graph's CSR adjacency view:
 
-1. the protocol reports, as boolean masks over all nodes, who pushes and who
-   answers calls this round;
+1. the protocol reports who pushes and who answers calls this round — as a
+   sorted *index pool* (``vector_push_samplers``, maintained incrementally by
+   the engine) when it opts into index tracking, or as boolean masks;
 2. every node that needs to sample does so in one batch — a single
    ``Generator.integers`` gather for fanout 1, a chunked random-key top-``k``
    selection for larger fanouts — yielding flat ``callers`` / ``callees``
    channel arrays;
 3. failure injection is a Bernoulli array over the channels and transmissions;
-4. deliveries stage into a pending mask and commit at the end of the round,
-   so "received in round ``t``, effective in ``t + 1``" holds exactly as in
-   the scalar engine.
+4. deliveries commit sparsely (:meth:`VectorState.commit_delivered`): only the
+   uninformed hits are sorted and promoted, so "received in round ``t``,
+   effective in ``t + 1``" holds exactly as in the scalar engine while the
+   commit cost tracks the shrinking uninformed set.
 
-There are no per-node Python objects or per-channel Python loops anywhere in
-the hot path, which makes ``n = 10⁶`` broadcasts run in seconds.
+Active sets and scratch buffers
+-------------------------------
+Protocols with ``uses_index_pools`` never trigger an O(n) flag scan in
+push-only rounds: the engine maintains the sorted informed-index vector by
+merge at each commit, the protocol hands back the relevant pool (informed,
+last round's newly informed, Algorithm 1's active list), and sampling cost is
+proportional to the number of *pushers*, which is what makes the exponential
+growth phase cost O(n) in aggregate rather than O(n · rounds).  The fanout-1
+sampling pipeline reuses preallocated scratch buffers (uniforms, stub
+offsets, gather positions, callees) instead of allocating fresh full-size
+arrays every round, and all index arrays follow the CSR index dtype (int32
+for every graph below two billion stubs).  Draw *sequences* are unchanged:
+pools enumerate exactly the nodes the mask scan would, in the same ascending
+order, and ``Generator.random(out=...)`` fills a scratch slice with the same
+stream a fresh allocation would get.
 
 Batched replications
 --------------------
@@ -31,10 +46,21 @@ call-for-call identical to a single run, so every row of a batch is
 bit-identical to the corresponding :class:`VectorizedRoundEngine` run.  What
 the batch amortises is everything *around* the draws: state commits, channel
 bookkeeping, delivery scatter, and per-run setup all happen once per round for
-the whole ensemble instead of once per round per seed, which is where a
-Python-level ``for seed in seeds`` loop spends most of its time at moderate
-``n``.  Completed replications (when ``stop_when_informed`` is set) drop out
-of the round loop exactly as a single run would stop, preserving parity.
+the whole ensemble instead of once per round per seed.
+
+Row compaction
+~~~~~~~~~~~~~~
+When ``stop_when_informed`` holds (the default) and
+``SimulationConfig.batch_row_compaction`` is on, completed replications are
+*remapped out* of the ``(R, n)`` state the moment they finish: the state
+planes, the informed-index vectors, the per-replication generator lists, and
+any protocol-held per-row tables (via the
+:meth:`BroadcastProtocol.vector_compact_rows` hook) are all sliced down to
+the surviving rows, and an ``origin`` map carries results back to the
+original seed order.  Long-tail sweeps therefore shrink their arrays as rows
+finish instead of carrying dead rows to the last straggler's round.
+Compaction never touches a generator stream, so the results are bit-identical
+with compaction on or off (asserted in ``tests/test_engine_compaction.py``).
 
 Dispatch rules
 --------------
@@ -248,21 +274,39 @@ def _resolve_failure_model(
 
 
 class _BulkEngineBase:
-    """CSR-derived caches and failure unpacking shared by both bulk engines.
+    """CSR-derived caches, scratch buffers, and failure unpacking shared by
+    both bulk engines.
 
     Kept in one place so a fix to channel-cost caching, self-loop detection,
-    or the loss-probability plumbing cannot drift between the single-run and
-    batched engines.  Subclasses call the two ``_init_*`` helpers after
-    setting ``self.failure_model``.
+    degree caching, or the loss-probability plumbing cannot drift between the
+    single-run and batched engines.  Subclasses call the two ``_init_*``
+    helpers after setting ``self.failure_model``.
     """
 
     def _init_bulk_state(self, graph: Graph) -> None:
         self._indptr, self._indices = graph.csr()
-        self._degrees = np.diff(self._indptr)
         # Cached on the graph next to the CSR view, so per-seed loops over
         # the same graph do not re-derive these O(m) facts per run.
         self._has_self_loops, self._uniform_degree = graph.csr_stats()
+        self._n = self._indptr.size - 1
+        # Every O(n) derived array below is materialised lazily: a push
+        # broadcast over a regular graph touches none of them, which keeps
+        # the engine's own footprint out of the peak.
         self._channel_cost_cache: dict = {}
+        self._channel_info_cache: dict = {}
+        self._degrees_array: Optional[np.ndarray] = None
+        self._degree_positive_array: Optional[np.ndarray] = None
+        self._nz_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if self._uniform_degree is not None:
+            self._all_degrees_positive: Optional[bool] = self._uniform_degree > 0
+        else:
+            self._all_degrees_positive = None
+        # Fanout-1 scratch buffers (allocated lazily at first use, reused
+        # every round): uniforms, stub offsets, gather positions, callees.
+        self._scratch_uniform: Optional[np.ndarray] = None
+        self._scratch_offset: Optional[np.ndarray] = None
+        self._scratch_position: Optional[np.ndarray] = None
+        self._scratch_callee: Optional[np.ndarray] = None
 
     def _init_failure_probabilities(self) -> None:
         if isinstance(self.failure_model, IndependentLoss):
@@ -272,14 +316,130 @@ class _BulkEngineBase:
             self._loss_p = 0.0
             self._channel_fail_p = 0.0
 
-    def _channel_cost(self, fanout: int) -> Tuple[np.ndarray, int]:
-        """``(min(degree, fanout) per node, its sum)``, cached per fanout."""
+    # -- lazy CSR-derived caches ---------------------------------------------------
+
+    @property
+    def _degrees(self) -> np.ndarray:
+        if self._degrees_array is None:
+            self._degrees_array = np.diff(self._indptr)
+        return self._degrees_array
+
+    @property
+    def _degree_positive(self) -> np.ndarray:
+        if self._degree_positive_array is None:
+            self._degree_positive_array = self._degrees > 0
+        return self._degree_positive_array
+
+    def _all_positive(self) -> bool:
+        if self._all_degrees_positive is None:
+            self._all_degrees_positive = bool(self._degree_positive.all())
+        return self._all_degrees_positive
+
+    def _nz(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(nodes with a neighbour, their degrees)`` in CSR index dtype."""
+        if self._nz_cache is None:
+            if self._all_positive():
+                nodes = np.arange(self._n, dtype=self._indices.dtype)
+            else:
+                nodes = np.flatnonzero(self._degree_positive).astype(
+                    self._indices.dtype, copy=False
+                )
+            self._nz_cache = (nodes, self._degrees[nodes])
+        return self._nz_cache
+
+    def _channel_info(self, fanout: int) -> Tuple[int, Optional[int]]:
+        """``(total channels over all nodes, uniform per-node cost or None)``.
+
+        The uniform cost applies when every node pays the same
+        ``min(degree, fanout)`` — regular graphs, or fanout 1 without
+        isolated nodes — and turns pool/mask channel accounting into a
+        multiplication instead of a gather over a cost array.
+        """
+        cached = self._channel_info_cache.get(fanout)
+        if cached is None:
+            if self._uniform_degree is not None:
+                cost = min(self._uniform_degree, fanout)
+                cached = (self._n * cost, cost)
+            elif fanout == 1 and self._all_positive():
+                cached = (self._n, 1)
+            else:
+                cached = (int(self._channel_cost_array(fanout).sum()), None)
+            self._channel_info_cache[fanout] = cached
+        return cached
+
+    def _channel_cost_array(self, fanout: int) -> np.ndarray:
+        """``min(degree, fanout)`` per node, cached per fanout."""
         cached = self._channel_cost_cache.get(fanout)
         if cached is None:
-            cost = np.minimum(self._degrees, fanout)
-            cached = (cost, int(cost.sum()))
+            cached = np.minimum(self._degrees, fanout)
             self._channel_cost_cache[fanout] = cached
         return cached
+
+    # -- fanout-1 scratch sampling -------------------------------------------------
+
+    def _ensure_scratch(self, capacity: int) -> None:
+        current = self._scratch_uniform
+        if current is not None and current.size >= capacity:
+            return
+        # Free before reallocating so the old and new generation of buffers
+        # never coexist (the growth pattern is geometric anyway — sampler
+        # counts roughly double per round during the growth phase).
+        self._scratch_uniform = None
+        self._scratch_offset = None
+        self._scratch_position = None
+        self._scratch_callee = None
+        idx_dtype = self._indices.dtype
+        self._scratch_uniform = np.empty(capacity, dtype=np.float64)
+        self._scratch_offset = np.empty(capacity, dtype=idx_dtype)
+        self._scratch_position = np.empty(capacity, dtype=idx_dtype)
+        self._scratch_callee = np.empty(capacity, dtype=idx_dtype)
+
+    #: Below this sampler count the plain allocation path beats the scratch
+    #: pipeline (whose extra view/out bookkeeping costs ~10 µs per round,
+    #: which dominates when the arrays themselves are only a few KB).
+    _SCRATCH_MIN_SAMPLERS = 1 << 15
+
+    def _fanout1_callees(
+        self, generator: np.random.Generator, samplers: np.ndarray
+    ) -> np.ndarray:
+        """Callees of one uniform stub draw per sampler, via scratch buffers.
+
+        Returns a view into the callee scratch buffer (valid until the next
+        call); draws bit-identically to the allocation-based path —
+        ``generator.random(out=...)`` consumes the same stream, and the
+        in-place ``floor(U · d)`` arithmetic produces the same offsets.
+        """
+        k = samplers.size
+        if k < self._SCRATCH_MIN_SAMPLERS:
+            uniforms = generator.random(k)
+            if self._uniform_degree is not None:
+                offsets = _fanout1_offsets(uniforms, self._uniform_degree)
+                return self._indices[samplers * self._uniform_degree + offsets]
+            offsets = _fanout1_offsets(uniforms, self._degrees[samplers])
+            return self._indices[self._indptr[samplers] + offsets]
+        self._ensure_scratch(k)
+        uniforms = self._scratch_uniform[:k]
+        generator.random(out=uniforms)
+        offsets = self._scratch_offset[:k]
+        positions = self._scratch_position[:k]
+        if self._uniform_degree is not None:
+            degree = self._uniform_degree
+            np.multiply(uniforms, degree, out=uniforms)
+            np.copyto(offsets, uniforms, casting="unsafe")  # trunc == floor ≥ 0
+            np.minimum(offsets, degree - 1, out=offsets)
+            np.multiply(samplers, degree, out=positions, casting="unsafe")
+            np.add(positions, offsets, out=positions)
+        else:
+            sampler_degrees = self._degrees[samplers]
+            np.multiply(uniforms, sampler_degrees, out=uniforms)
+            np.copyto(offsets, uniforms, casting="unsafe")
+            np.subtract(sampler_degrees, 1, out=sampler_degrees)
+            np.minimum(offsets, sampler_degrees, out=offsets)
+            np.take(self._indptr, samplers, out=positions)
+            np.add(positions, offsets, out=positions)
+        callees = self._scratch_callee[:k]
+        np.take(self._indices, positions, out=callees)
+        return callees
 
 
 class VectorizedRoundEngine(_BulkEngineBase):
@@ -332,6 +492,8 @@ class VectorizedRoundEngine(_BulkEngineBase):
         n = self.graph.node_count
         self.protocol.reset()
         state = VectorState(n=n, source=source)
+        if self.protocol.uses_index_pools:
+            state.enable_index_tracking()
         horizon = self.protocol.horizon()
         if self.config.max_rounds is not None:
             horizon = min(horizon, self.config.max_rounds)
@@ -387,39 +549,71 @@ class VectorizedRoundEngine(_BulkEngineBase):
 
     # -- round mechanics -------------------------------------------------------------
 
+    def _push_samplers(self, round_index: int, state: VectorState) -> np.ndarray:
+        """This round's pushers with a neighbour, as a sorted index vector.
+
+        Uses the protocol's index pool when available (O(pushers)), the
+        boolean mask otherwise (O(n) scan) — same set, same ascending order,
+        so the draw sequence does not depend on the representation.
+        """
+        if self.protocol.uses_index_pools:
+            pool = self.protocol.vector_push_samplers(round_index, state)
+            if pool is not None:
+                if self._all_positive():
+                    return pool
+                return pool[self._degree_positive[pool]]
+        push_mask = self.protocol.vector_wants_push(round_index, state)
+        if self._all_positive():
+            return np.flatnonzero(push_mask)
+        return np.flatnonzero(push_mask & self._degree_positive)
+
+    def _channels_opened(self, round_index: int, state: VectorState, fanout: int) -> int:
+        """Channels charged this round (full phone-call model arithmetic).
+
+        Every calling node opens min(fanout, degree) channels per round,
+        whether or not its calls can carry information — identical to the
+        scalar engine's accounting.  Protocols whose uninformed nodes stay
+        silent report the calling set (as an index pool or a mask) so the
+        charge matches the scalar per-node fanout of 0.
+        """
+        channel_total, uniform_cost = self._channel_info(fanout)
+        if self.protocol.uses_index_pools:
+            pool = self.protocol.vector_caller_pool(round_index, state)
+            if pool is not None:
+                if uniform_cost is not None:
+                    return int(pool.size) * uniform_cost
+                return int(self._channel_cost_array(fanout)[pool].sum())
+        caller_mask = self.protocol.vector_caller_mask(round_index, state)
+        if caller_mask is None:
+            return channel_total
+        if uniform_cost is not None:
+            return int(caller_mask.sum()) * uniform_cost
+        return int(self._channel_cost_array(fanout)[caller_mask].sum())
+
     def _run_round(self, round_index: int, state: VectorState) -> RoundRecord:
         protocol = self.protocol
-        degrees = self._degrees
         informed_before = int(state.informed_count)
 
         push_active = protocol.push_round(round_index)
         pull_active = protocol.pull_round(round_index)
         fanout = protocol.vector_fanout(round_index)
 
-        # Every calling node opens min(fanout, degree) channels per round in
-        # the full phone-call model, whether or not its calls can carry
-        # information — identical to the scalar engine's arithmetic
-        # accounting.  Protocols whose uninformed nodes stay silent report a
-        # caller mask so the charge matches the scalar per-node fanout of 0.
-        caller_mask = protocol.vector_caller_mask(round_index, state)
-        channel_cost, channel_total = self._channel_cost(fanout)
-        if caller_mask is None:
-            channels_opened = channel_total
-        else:
-            channels_opened = int(channel_cost[caller_mask].sum())
+        channels_opened = self._channels_opened(round_index, state, fanout)
 
-        push_mask = protocol.vector_wants_push(round_index, state) if push_active else None
         pull_mask = protocol.vector_wants_pull(round_index, state) if pull_active else None
 
         # Only channels that can carry a message this round are materialised:
         # in pull rounds any caller may receive, in push-only rounds only the
         # pushers' calls matter.
+        push_mask: Optional[np.ndarray] = None
         if pull_active:
-            samplers = np.flatnonzero(degrees > 0)
+            samplers = self._nz()[0]
+            if push_active:
+                push_mask = protocol.vector_wants_push(round_index, state)
         elif push_active:
-            samplers = np.flatnonzero(push_mask & (degrees > 0))
+            samplers = self._push_samplers(round_index, state)
         else:
-            samplers = np.empty(0, dtype=np.int64)
+            samplers = np.empty(0, dtype=self._indices.dtype)
 
         if protocol.has_custom_vector_targets:
             if fanout != 1:
@@ -430,12 +624,22 @@ class VectorizedRoundEngine(_BulkEngineBase):
                 callers = samplers
                 callees = protocol.vector_call_targets(
                     round_index, state, samplers, self._protocol_gen,
-                    self._indptr, self._indices, degrees,
+                    self._indptr, self._indices, self._degrees,
                 )
             else:
                 callers = callees = np.empty(0, dtype=np.int64)
+        elif fanout == 1:
+            callers = samplers
+            if samplers.size:
+                callees = self._fanout1_callees(self._protocol_gen, samplers)
+            else:
+                callees = np.empty(0, dtype=self._indices.dtype)
         else:
-            callers, callees = self._sample_call_targets(samplers, fanout)
+            callers, callees = _sample_stub_targets(
+                self._protocol_gen, samplers, fanout,
+                self._indptr, self._indices, self._degrees,
+                uniform_degree=self._uniform_degree,
+            )
 
         # Self-calls (self-loop stubs) count as opened channels but never
         # connect; failed channels are unusable for both directions.  On a
@@ -446,12 +650,19 @@ class VectorizedRoundEngine(_BulkEngineBase):
             if self._channel_fail_p > 0.0 and callers.size:
                 usable &= self._failure_gen.random(callers.size) >= self._channel_fail_p
             if not usable.all():
-                callers = callers[usable]
+                # Push-only deliveries never read the callers again, so the
+                # caller compress (a full-size copy in the endgame) is only
+                # paid when a pull can use it.
                 callees = callees[usable]
+                if pull_active:
+                    callers = callers[usable]
+                else:
+                    callers = callees
 
         push_transmissions = 0
         pull_transmissions = 0
         lost_transmissions = 0
+        delivered_parts: List[np.ndarray] = []
 
         if push_active and callers.size:
             if pull_active:
@@ -464,7 +675,7 @@ class VectorizedRoundEngine(_BulkEngineBase):
             push_transmissions = int(receivers.size)
             receivers, lost = self._drop_lost(receivers)
             lost_transmissions += lost
-            state.pending[receivers] = True
+            delivered_parts.append(receivers)
 
         if pull_active and callers.size:
             answering = pull_mask[callees]
@@ -472,9 +683,16 @@ class VectorizedRoundEngine(_BulkEngineBase):
             pull_transmissions = int(receivers.size)
             receivers, lost = self._drop_lost(receivers)
             lost_transmissions += lost
-            state.pending[receivers] = True
+            delivered_parts.append(receivers)
 
-        newly_informed = state.commit_round(round_index)
+        if len(delivered_parts) == 1:
+            delivered = delivered_parts[0]
+        elif delivered_parts:
+            delivered = np.concatenate(delivered_parts)
+        else:
+            delivered = np.empty(0, dtype=np.int64)
+
+        newly_informed = state.commit_delivered(delivered, round_index)
         protocol.vector_on_round_committed(round_index, state, newly_informed)
 
         return RoundRecord(
@@ -498,18 +716,6 @@ class VectorizedRoundEngine(_BulkEngineBase):
             receivers = receivers[~lost_mask]
         return receivers, lost
 
-    # -- neighbour sampling -----------------------------------------------------------
-
-    def _sample_call_targets(
-        self, samplers: np.ndarray, fanout: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Uniform stub sampling with this run's protocol generator."""
-        return _sample_stub_targets(
-            self._protocol_gen, samplers, fanout,
-            self._indptr, self._indices, self._degrees,
-            uniform_degree=self._uniform_degree,
-        )
-
 
 class BatchedVectorizedRoundEngine(_BulkEngineBase):
     """Runs R independent replications of one configuration in lock-step.
@@ -520,12 +726,15 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
     run, so each row of the batch is bit-identical to the corresponding
     single-seed vectorized run.  The whole ensemble's state lives in one
     ``(R, n)`` :class:`VectorState`; delivery scatter, commits, and channel
-    accounting are performed once per round for all replications together.
+    accounting are performed once per round for all replications together,
+    and completed replications are compacted out of the state as they finish
+    (see the module docstring).
 
     One protocol instance drives all replications; it is :meth:`reset` once at
     the start of the batch, and protocols with per-node state (e.g. the
     quasirandom pointer table) keep it per replication via the ``row``
-    argument of the bulk hooks.
+    argument of the bulk hooks (and remap it on compaction via
+    ``vector_compact_rows``).
     """
 
     def __init__(
@@ -564,12 +773,11 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
 
         self._init_failure_probabilities()
         self._init_bulk_state(graph)
-        # Pull rounds sample every node with a neighbour, in every
-        # replication; precompute that sampler set once for the whole batch.
-        self._nz_nodes = np.flatnonzero(self._degrees > 0)
-        self._nz_degrees = self._degrees[self._nz_nodes]
-        self._degree_positive = self._degrees > 0
-        self._all_degrees_positive = bool(self._degree_positive.all())
+        # Row compaction only applies when completed rows actually leave the
+        # round loop (early stopping); it is bit-transparent either way.
+        self._compaction = bool(
+            self.config.batch_row_compaction and self.config.stop_when_informed
+        )
 
     # -- public API ---------------------------------------------------------------
 
@@ -582,13 +790,23 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
         batch = len(self.seeds)
         self.protocol.reset()
         state = VectorState(n=n, source=source, batch=batch)
+        if self.protocol.uses_index_pools:
+            state.enable_index_tracking()
         horizon = self.protocol.horizon()
         if self.config.max_rounds is not None:
             horizon = min(horizon, self.config.max_rounds)
 
+        # Live generator lists and the state-row -> original-seed map; both
+        # shrink together with the state when rows are compacted away.
+        self._live_protocol_gens = list(self._protocol_gens)
+        self._live_failure_gens = list(self._failure_gens)
+        origin = np.arange(batch, dtype=np.int64)
+
         active = np.ones(batch, dtype=bool)
         rounds_to_completion = np.full(batch, -1, dtype=np.int64)
         rounds_executed = np.zeros(batch, dtype=np.int64)
+        success = np.zeros(batch, dtype=bool)
+        final_informed = np.zeros(batch, dtype=np.int64)
         totals = {
             key: np.zeros(batch, dtype=np.int64)
             for key in ("push", "pull", "channels", "lost")
@@ -603,45 +821,77 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
                 break
             informed_before = np.array(state.informed_count, copy=True)
             push_tx, pull_tx, channels, lost = self._run_round_batch(
-                round_index, state, active, active_rows
+                round_index, state, active_rows
             )
-            rounds_executed[active] = round_index
-            totals["push"] += push_tx
-            totals["pull"] += pull_tx
-            totals["channels"] += channels
-            totals["lost"] += lost
+            executed = origin[active_rows]
+            rounds_executed[executed] = round_index
+            totals["push"][origin] += push_tx
+            totals["pull"][origin] += pull_tx
+            totals["channels"][origin] += channels
+            totals["lost"][origin] += lost
 
             phase = self.protocol.phase_label(round_index)
             informed_after = state.informed_count
             if phase:
-                for row in active_rows:
+                for local in active_rows:
+                    row = int(origin[local])
                     phase_transmissions[row][phase] = phase_transmissions[row].get(
                         phase, 0
-                    ) + int(push_tx[row] + pull_tx[row])
+                    ) + int(push_tx[local] + pull_tx[local])
             if collect:
-                for row in active_rows:
-                    histories[row].append(
+                for local in active_rows:
+                    histories[int(origin[local])].append(
                         RoundRecord(
                             round_index=round_index,
-                            informed_before=int(informed_before[row]),
-                            informed_after=int(informed_after[row]),
-                            push_transmissions=int(push_tx[row]),
-                            pull_transmissions=int(pull_tx[row]),
-                            channels_opened=int(channels[row]),
-                            lost_transmissions=int(lost[row]),
+                            informed_before=int(informed_before[local]),
+                            informed_after=int(informed_after[local]),
+                            push_transmissions=int(push_tx[local]),
+                            pull_transmissions=int(pull_tx[local]),
+                            channels_opened=int(channels[local]),
+                            lost_transmissions=int(lost[local]),
                             phase=phase,
                         )
                     )
 
             done = active & state.all_informed()
-            newly_done = done & (rounds_to_completion < 0)
+            newly_done = done & (rounds_to_completion[origin] < 0)
             if newly_done.any():
-                rounds_to_completion[newly_done] = round_index
+                rounds_to_completion[origin[newly_done]] = round_index
                 if self.config.stop_when_informed:
                     active &= ~newly_done
+                    dead = state.batch - int(active.sum())
+                    # Compact once a quarter of the state rows are dead: each
+                    # event costs one O(live·n) copy, so the threshold keeps
+                    # the total copy volume linear in R·n while the per-round
+                    # O(rows·n) terms (dense commits, informed-index merges)
+                    # track the live ensemble instead of the original batch.
+                    if self._compaction and dead * 4 >= state.batch:
+                        keep = np.flatnonzero(active)
+                        dropped_origin = origin[~active]
+                        success[dropped_origin] = True
+                        final_informed[dropped_origin] = n
+                        if keep.size == 0:
+                            origin = origin[keep]
+                            break
+                        # Protocol first (it may need the old row count),
+                        # then the engine-owned state and generator lists.
+                        self.protocol.vector_compact_rows(keep, n, state.batch)
+                        state.compact_rows(keep)
+                        origin = origin[keep]
+                        self._live_protocol_gens = [
+                            self._live_protocol_gens[i] for i in keep
+                        ]
+                        self._live_failure_gens = [
+                            self._live_failure_gens[i] for i in keep
+                        ]
+                        active = np.ones(state.batch, dtype=bool)
 
-        finished = state.all_informed()
-        final_informed = state.informed_count
+        # Rows still in the state at the end (never compacted away).
+        if origin.size:
+            live_finished = state.all_informed()
+            success[origin] = live_finished
+            final_informed[origin] = state.informed_count
+
         shared_metadata = {
             "protocol": self.protocol.describe(),
             "failure_model": self.failure_model.describe(),
@@ -656,7 +906,7 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
                     n=n,
                     protocol=self.protocol.name,
                     source=source,
-                    success=bool(finished[row]),
+                    success=bool(success[row]),
                     rounds_executed=int(rounds_executed[row]),
                     rounds_to_completion=(
                         int(rounds_to_completion[row])
@@ -677,16 +927,66 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
 
     # -- round mechanics -------------------------------------------------------------
 
+    def _pool_bounds(self, pool: np.ndarray, n: int, batch: int) -> np.ndarray:
+        """Row-boundary positions of a sorted flat index pool."""
+        return np.searchsorted(pool, np.arange(batch + 1, dtype=np.int64) * n)
+
+    def _pool_row_samplers(
+        self, pool: np.ndarray, bounds: np.ndarray, row: int, n: int
+    ) -> np.ndarray:
+        """One row's pool segment as node ids, neighbourless nodes removed.
+
+        The single place that turns flat ``row * n + node`` pool entries back
+        into per-row sampler ids — shared by the fanout-1 segment builder and
+        the per-row (custom-target / fanout > 1) loop so the two sampling
+        paths cannot drift.  The result is exactly what a boolean-mask scan
+        of that row would produce, at O(segment) instead of O(n).
+        """
+        segment = pool[int(bounds[row]) : int(bounds[row + 1])]
+        if segment.size:
+            segment = segment - pool.dtype.type(row * n)
+            if not self._all_positive():
+                segment = segment[self._degree_positive[segment]]
+        return segment
+
+    def _pool_segments(
+        self,
+        pool: np.ndarray,
+        active_rows: np.ndarray,
+        n: int,
+        batch: int,
+    ) -> Tuple[np.ndarray, List[int], List[int]]:
+        """Split a sorted flat index pool into per-active-row node-id segments.
+
+        Returns ``(cols, part_rows, part_lengths)`` in ascending-row order:
+        ``cols`` holds node ids (row offsets removed), ``part_rows`` the state
+        row of each non-empty segment.  Dead rows' entries are skipped without
+        being touched.
+        """
+        bounds = self._pool_bounds(pool, n, batch)
+        part_rows: List[int] = []
+        part_lengths: List[int] = []
+        pieces: List[np.ndarray] = []
+        for row in active_rows.tolist():
+            segment = self._pool_row_samplers(pool, bounds, row, n)
+            if segment.size == 0:
+                continue
+            part_rows.append(row)
+            part_lengths.append(int(segment.size))
+            pieces.append(segment)
+        if not pieces:
+            return np.empty(0, dtype=pool.dtype), part_rows, part_lengths
+        cols = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+        return cols, part_rows, part_lengths
+
     def _run_round_batch(
         self,
         round_index: int,
         state: VectorState,
-        active: np.ndarray,
         active_rows: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """One lock-step round; returns per-replication counter arrays."""
+        """One lock-step round; returns per-state-row counter arrays."""
         protocol = self.protocol
-        degrees = self._degrees
         n = state.n
         batch = state.batch
 
@@ -694,17 +994,12 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
         pull_active = protocol.pull_round(round_index)
         fanout = protocol.vector_fanout(round_index)
 
-        push_mask = protocol.vector_wants_push(round_index, state) if push_active else None
         pull_mask = protocol.vector_wants_pull(round_index, state) if pull_active else None
+        push_mask: Optional[np.ndarray] = None
+        if push_active and pull_active:
+            push_mask = protocol.vector_wants_push(round_index, state)
 
-        caller_mask = protocol.vector_caller_mask(round_index, state)
-        channel_cost, channel_total = self._channel_cost(fanout)
-        channels = np.zeros(batch, dtype=np.int64)
-        if caller_mask is None:
-            channels[active_rows] = channel_total
-        else:
-            per_row = (channel_cost[None, :] * caller_mask).sum(axis=1)
-            channels[active_rows] = per_row[active_rows]
+        channels = self._channels_batch(round_index, state, fanout, active_rows)
 
         custom = protocol.has_custom_vector_targets
         if custom and fanout != 1:
@@ -732,39 +1027,20 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
                 if pull_active:
                     # Every node with a neighbour samples, in every active
                     # replication: the sampler set is one tiled constant.
-                    size = int(self._nz_nodes.size)
+                    nz_nodes, nz_degrees = self._nz()
+                    size = int(nz_nodes.size)
                     if size:
                         part_rows = active_rows.tolist()
                         part_lengths = [size] * len(part_rows)
-                        cols = np.tile(self._nz_nodes, active_rows.size)
+                        cols = np.tile(nz_nodes, active_rows.size)
                         if uniform is None:
                             sampler_degrees = np.tile(
-                                self._nz_degrees, active_rows.size
+                                nz_degrees, active_rows.size
                             )
                 else:
-                    # Work on the active rows only: when replications have
-                    # completed, the scan shrinks with the live ensemble
-                    # instead of staying O(R·n) until the last straggler.
-                    if active_rows.size == batch:
-                        mask = push_mask
-                        row_ids = None
-                    else:
-                        mask = push_mask[active_rows]
-                        row_ids = active_rows
-                    if not self._all_degrees_positive:
-                        mask = mask & self._degree_positive
-                    flat = np.flatnonzero(mask.ravel())
-                    if flat.size:
-                        live = active_rows.size
-                        row_boundaries = np.arange(live + 1, dtype=np.int64) * n
-                        counts = np.diff(np.searchsorted(flat, row_boundaries))
-                        occupied = np.flatnonzero(counts)
-                        for local in occupied.tolist():
-                            part_rows.append(
-                                local if row_ids is None else int(row_ids[local])
-                            )
-                            part_lengths.append(int(counts[local]))
-                        cols = flat - np.repeat(occupied * n, counts[occupied])
+                    cols, part_rows, part_lengths = self._push_sampler_segments(
+                        round_index, state, active_rows
+                    )
                 if part_rows:
                     if not pull_active:
                         bases = np.repeat(
@@ -772,9 +1048,9 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
                             np.asarray(part_lengths, dtype=np.int64),
                         )
                         if uniform is None:
-                            sampler_degrees = degrees[cols]
+                            sampler_degrees = self._degrees[cols]
                     draws = [
-                        self._protocol_gens[row].random(size)
+                        self._live_protocol_gens[row].random(size)
                         for row, size in zip(part_rows, part_lengths)
                     ]
                     uniforms = draws[0] if len(draws) == 1 else np.concatenate(draws)
@@ -785,35 +1061,9 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
                         offsets = _fanout1_offsets(uniforms, sampler_degrees)
                         callees = self._indices[self._indptr[cols] + offsets]
             else:
-                caller_parts: List[np.ndarray] = []
-                callee_parts: List[np.ndarray] = []
-                for row in active_rows.tolist():
-                    if pull_active:
-                        samplers = self._nz_nodes
-                    else:
-                        samplers = np.flatnonzero(push_mask[row] & self._degree_positive)
-                    if samplers.size == 0:
-                        continue
-                    generator = self._protocol_gens[row]
-                    if custom:
-                        row_callees = protocol.vector_call_targets(
-                            round_index, state, samplers, generator,
-                            self._indptr, self._indices, degrees, row=row,
-                        )
-                        row_callers = samplers
-                    else:
-                        row_callers, row_callees = _sample_stub_targets(
-                            generator, samplers, fanout,
-                            self._indptr, self._indices, degrees,
-                            uniform_degree=self._uniform_degree,
-                        )
-                    caller_parts.append(row_callers)
-                    callee_parts.append(row_callees)
-                    part_rows.append(row)
-                    part_lengths.append(int(row_callers.size))
-                if caller_parts:
-                    cols = np.concatenate(caller_parts)
-                    callees = np.concatenate(callee_parts)
+                cols, callees, part_rows, part_lengths = self._per_row_targets(
+                    round_index, state, active_rows, fanout, custom
+                )
 
         push_tx = np.zeros(batch, dtype=np.int64)
         pull_tx = np.zeros(batch, dtype=np.int64)
@@ -838,7 +1088,8 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
                     position = 0
                     for row, size in zip(part_rows, part_lengths):
                         usable[position : position + size] &= (
-                            self._failure_gens[row].random(size) >= self._channel_fail_p
+                            self._live_failure_gens[row].random(size)
+                            >= self._channel_fail_p
                         )
                         position += size
                 if not usable.all():
@@ -897,6 +1148,147 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
         protocol.vector_on_round_committed(round_index, state, newly_informed)
         return push_tx, pull_tx, channels, lost
 
+    def _channels_batch(
+        self,
+        round_index: int,
+        state: VectorState,
+        fanout: int,
+        active_rows: np.ndarray,
+    ) -> np.ndarray:
+        """Per-state-row channel charge for this round."""
+        batch = state.batch
+        n = state.n
+        channel_total, uniform_cost = self._channel_info(fanout)
+        channels = np.zeros(batch, dtype=np.int64)
+        if self.protocol.uses_index_pools:
+            pool = self.protocol.vector_caller_pool(round_index, state)
+            if pool is not None:
+                bounds = self._pool_bounds(pool, n, batch)
+                lengths = np.diff(bounds)
+                if uniform_cost is not None:
+                    per_row = lengths * uniform_cost
+                else:
+                    cost = self._channel_cost_array(fanout)
+                    sums = np.concatenate(
+                        ([0], np.cumsum(cost[pool % n]))
+                    )
+                    per_row = sums[bounds[1:]] - sums[bounds[:-1]]
+                channels[active_rows] = per_row[active_rows]
+                return channels
+        caller_mask = self.protocol.vector_caller_mask(round_index, state)
+        if caller_mask is None:
+            channels[active_rows] = channel_total
+        elif uniform_cost is not None:
+            channels[active_rows] = (
+                caller_mask[active_rows].sum(axis=1) * uniform_cost
+            )
+        else:
+            cost = self._channel_cost_array(fanout)
+            per_row = (cost[None, :] * caller_mask).sum(axis=1)
+            channels[active_rows] = per_row[active_rows]
+        return channels
+
+    def _push_sampler_segments(
+        self, round_index: int, state: VectorState, active_rows: np.ndarray
+    ) -> Tuple[np.ndarray, List[int], List[int]]:
+        """Push-only sampler node ids per active row (ascending-row order)."""
+        n = state.n
+        batch = state.batch
+        if self.protocol.uses_index_pools:
+            pool = self.protocol.vector_push_samplers(round_index, state)
+            if pool is not None:
+                return self._pool_segments(pool, active_rows, n, batch)
+        push_mask = self.protocol.vector_wants_push(round_index, state)
+        # Work on the active rows only: when replications have completed,
+        # the scan shrinks with the live ensemble instead of staying
+        # O(R·n) until the last straggler.
+        if active_rows.size == batch:
+            mask = push_mask
+            row_ids = None
+        else:
+            mask = push_mask[active_rows]
+            row_ids = active_rows
+        if not self._all_positive():
+            mask = mask & self._degree_positive
+        flat = np.flatnonzero(mask.ravel())
+        part_rows: List[int] = []
+        part_lengths: List[int] = []
+        cols = np.empty(0, dtype=np.int64)
+        if flat.size:
+            live = active_rows.size
+            row_boundaries = np.arange(live + 1, dtype=np.int64) * n
+            counts = np.diff(np.searchsorted(flat, row_boundaries))
+            occupied = np.flatnonzero(counts)
+            for local in occupied.tolist():
+                part_rows.append(
+                    local if row_ids is None else int(row_ids[local])
+                )
+                part_lengths.append(int(counts[local]))
+            cols = flat - np.repeat(occupied * n, counts[occupied])
+        return cols, part_rows, part_lengths
+
+    def _per_row_targets(
+        self,
+        round_index: int,
+        state: VectorState,
+        active_rows: np.ndarray,
+        fanout: int,
+        custom: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, List[int], List[int]]:
+        """Sampling paths that must loop rows: custom targets and fanout > 1."""
+        protocol = self.protocol
+        n = state.n
+        batch = state.batch
+        pull_active = protocol.pull_round(round_index)
+
+        pool: Optional[np.ndarray] = None
+        pool_bounds: Optional[np.ndarray] = None
+        push_mask: Optional[np.ndarray] = None
+        if not pull_active:
+            if protocol.uses_index_pools:
+                pool = protocol.vector_push_samplers(round_index, state)
+            if pool is not None:
+                pool_bounds = self._pool_bounds(pool, n, batch)
+            else:
+                push_mask = protocol.vector_wants_push(round_index, state)
+
+        caller_parts: List[np.ndarray] = []
+        callee_parts: List[np.ndarray] = []
+        part_rows: List[int] = []
+        part_lengths: List[int] = []
+        for row in active_rows.tolist():
+            if pull_active:
+                samplers = self._nz()[0]
+            elif pool is not None:
+                samplers = self._pool_row_samplers(pool, pool_bounds, row, n)
+            else:
+                samplers = np.flatnonzero(push_mask[row] & self._degree_positive)
+            if samplers.size == 0:
+                continue
+            generator = self._live_protocol_gens[row]
+            if custom:
+                row_callees = protocol.vector_call_targets(
+                    round_index, state, samplers, generator,
+                    self._indptr, self._indices, self._degrees, row=row,
+                )
+                row_callers = samplers
+            else:
+                row_callers, row_callees = _sample_stub_targets(
+                    generator, samplers, fanout,
+                    self._indptr, self._indices, self._degrees,
+                    uniform_degree=self._uniform_degree,
+                )
+            caller_parts.append(row_callers)
+            callee_parts.append(row_callees)
+            part_rows.append(row)
+            part_lengths.append(int(row_callers.size))
+        if not caller_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, part_rows, part_lengths
+        cols = np.concatenate(caller_parts)
+        callees = np.concatenate(callee_parts)
+        return cols, callees, part_rows, part_lengths
+
     def _drop_lost_rows(
         self, receivers: np.ndarray, receiver_rows: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -907,7 +1299,7 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
         each replication's loss draw matches the single-run ``_drop_lost``
         call exactly.
         """
-        batch = len(self.seeds)
+        batch = len(self._live_failure_gens)
         lost = np.zeros(batch, dtype=np.int64)
         if self._loss_p <= 0.0 or receivers.size == 0:
             return receivers, lost
@@ -917,7 +1309,7 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
             start, end = int(bounds[row]), int(bounds[row + 1])
             if end == start:
                 continue
-            lost_mask = self._failure_gens[row].random(end - start) < self._loss_p
+            lost_mask = self._live_failure_gens[row].random(end - start) < self._loss_p
             dropped = int(lost_mask.sum())
             if dropped:
                 lost[row] = dropped

@@ -63,6 +63,11 @@ class RoundRecord:
         """Nodes that became informed during this round."""
         return self.informed_after - self.informed_before
 
+    @property
+    def delivered_transmissions(self) -> int:
+        """Transmissions that arrived this round (total minus losses)."""
+        return self.transmissions - self.lost_transmissions
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-safe dict (numpy scalars coerced to plain Python)."""
         return {
@@ -119,6 +124,19 @@ class RunResult:
     def total_transmissions(self) -> int:
         """All message transmissions across the run (push + pull)."""
         return self.total_push_transmissions + self.total_pull_transmissions
+
+    @property
+    def total_delivered_transmissions(self) -> int:
+        """Transmissions that actually arrived (total minus failure losses).
+
+        This is the quantity the engines' conservation identity is stated
+        over: every informed node except the source received at least one
+        delivered transmission.  The identity is representation-independent —
+        the scalar engine's per-channel loop, the mask-scan kernels, and the
+        sparse active-set commits (which drop duplicate deliveries *after*
+        counting the transmission) all charge it identically.
+        """
+        return self.total_transmissions - self.total_lost_transmissions
 
     @property
     def transmissions_per_node(self) -> float:

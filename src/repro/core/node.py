@@ -20,7 +20,27 @@ from typing import Dict, Optional, Set
 
 import numpy as np
 
-__all__ = ["NodeState", "StateTable", "VectorState"]
+__all__ = ["NodeState", "StateTable", "VectorState", "merge_sorted_disjoint"]
+
+
+def merge_sorted_disjoint(base: np.ndarray, newly: np.ndarray) -> np.ndarray:
+    """Merge two sorted, disjoint index arrays into one sorted array.
+
+    O(base + newly) — each ``newly`` entry lands after the ``base`` entries
+    smaller than it plus the ``newly`` entries before it.  The engines and
+    phase protocols use this to grow their sorted active sets incrementally
+    instead of re-scanning a boolean plane every round.
+    """
+    if newly.size == 0:
+        return base
+    if base.size == 0:
+        return newly.astype(base.dtype, copy=False) if base.dtype != newly.dtype else newly
+    merged = np.empty(base.size + newly.size, dtype=base.dtype)
+    mask = np.zeros(merged.size, dtype=bool)
+    mask[np.searchsorted(base, newly) + np.arange(newly.size)] = True
+    merged[mask] = newly
+    merged[~mask] = base
+    return merged
 
 
 @dataclass
@@ -232,15 +252,37 @@ class VectorState:
     informed:
         ``bool[n]`` (or ``bool[R, n]``) — node currently knows the message.
     informed_round:
-        ``int64`` of the same shape — round the node became informed (``0``
+        ``int32`` of the same shape — round the node became informed (``0``
         for the source, ``-1`` while uninformed).
     active:
-        Algorithm 1's Phase-4 "active" flag, same shape.
+        Algorithm 1's Phase-4 "active" flag, same shape.  Allocated lazily on
+        first access (most protocols never touch it).
     pending:
-        A delivery staged this round, cleared by :meth:`commit_round`.
+        A delivery staged this round, cleared by :meth:`commit_round`.  Also
+        lazy: the active-set engines commit deliveries directly through
+        :meth:`commit_delivered` and only fall back to the pending plane for
+        dense rounds.
+
+    With :meth:`enable_index_tracking` the state additionally maintains
+    :attr:`informed_flat` — the ascending flat indices of all informed nodes —
+    and :attr:`newly_flat` (last round's commits) by sorted merge, which is
+    what lets the engines sample pushers in O(informed) instead of scanning
+    all ``R·n`` flags every round.
     """
 
-    __slots__ = ("n", "source", "batch", "informed", "informed_round", "active", "pending", "_informed_count")
+    __slots__ = (
+        "n",
+        "source",
+        "batch",
+        "informed",
+        "informed_round",
+        "_active",
+        "_pending",
+        "_informed_count",
+        "_track_indices",
+        "_informed_flat",
+        "_newly_flat",
+    )
 
     def __init__(self, n: int, source: int, batch: Optional[int] = None) -> None:
         if not 0 <= source < n:
@@ -252,12 +294,98 @@ class VectorState:
         self.batch = batch
         shape = (n,) if batch is None else (batch, n)
         self.informed = np.zeros(shape, dtype=bool)
-        self.informed_round = np.full(shape, -1, dtype=np.int64)
-        self.active = np.zeros(shape, dtype=bool)
-        self.pending = np.zeros(shape, dtype=bool)
+        # int32 suffices for round numbers; at n = 10⁶ this alone halves the
+        # resident state (the old int64 array dominated the footprint).
+        self.informed_round = np.full(shape, -1, dtype=np.int32)
+        # `active` and `pending` are allocated on first touch: most protocols
+        # never read the Algorithm-1 active flag, and the active-set engines
+        # commit deliveries without staging through a pending mask.
+        self._active: Optional[np.ndarray] = None
+        self._pending: Optional[np.ndarray] = None
         self.informed[..., source] = True
         self.informed_round[..., source] = 0
         self._informed_count = 1 if batch is None else np.ones(batch, dtype=np.int64)
+        self._track_indices = False
+        self._informed_flat: Optional[np.ndarray] = None
+        self._newly_flat: Optional[np.ndarray] = None
+
+    # -- lazily allocated flag planes -----------------------------------------
+
+    @property
+    def active(self) -> np.ndarray:
+        """Algorithm 1's Phase-4 flag plane, allocated on first access."""
+        if self._active is None:
+            self._active = np.zeros(self.informed.shape, dtype=bool)
+        return self._active
+
+    @property
+    def pending(self) -> np.ndarray:
+        """The staged-delivery plane, allocated on first access."""
+        if self._pending is None:
+            self._pending = np.zeros(self.informed.shape, dtype=bool)
+        return self._pending
+
+    # -- sorted informed-index tracking (the engines' active set) --------------
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Narrowest dtype that can hold a flat index into the state."""
+        return np.dtype(np.int32 if self.informed.size < 2**31 else np.int64)
+
+    def enable_index_tracking(self) -> None:
+        """Maintain the sorted flat-index vector of informed nodes.
+
+        ``informed_flat`` then always equals
+        ``np.flatnonzero(informed.reshape(-1))`` (ascending), updated by an
+        O(informed + newly) sorted merge at every commit instead of an O(R·n)
+        scan per round; ``newly_flat`` holds the indices committed by the most
+        recent round (initially the source entries, which is exactly the
+        "pushes in round 1" set of the phase-structured protocols).
+        """
+        self._track_indices = True
+        dtype = self.index_dtype
+        if self.batch is None:
+            flat = np.array([self.source], dtype=dtype)
+        else:
+            flat = np.arange(self.batch, dtype=dtype) * self.n + self.source
+        self._informed_flat = flat
+        self._newly_flat = flat
+
+    @property
+    def informed_flat(self) -> np.ndarray:
+        """Sorted flat indices of informed nodes (index tracking only)."""
+        if self._informed_flat is None:
+            raise RuntimeError("enable_index_tracking() has not been called")
+        return self._informed_flat
+
+    @property
+    def newly_flat(self) -> np.ndarray:
+        """Flat indices committed by the last round (index tracking only)."""
+        if self._newly_flat is None:
+            raise RuntimeError("enable_index_tracking() has not been called")
+        return self._newly_flat
+
+    #: Below this state size a full boolean scan rebuilds ``informed_flat``
+    #: faster than the sorted merge's bookkeeping (a handful of fancy-index
+    #: passes); above it the merge's O(informed) beats O(total)-per-round
+    #: scans during the growth phase and avoids the int64 ``flatnonzero``
+    #: output spiking the peak at million-node scale (the limit sits below
+    #: n = 10⁶ on purpose).
+    _REBUILD_SCAN_LIMIT = 1 << 19
+
+    def _record_newly(self, newly: np.ndarray) -> None:
+        if not self._track_indices:
+            return
+        newly = newly.astype(self.index_dtype, copy=False)
+        self._newly_flat = newly
+        if newly.size == 0:
+            return
+        if self.informed.size <= self._REBUILD_SCAN_LIMIT:
+            self._informed_flat = np.flatnonzero(
+                self.informed.reshape(-1)
+            ).astype(self.index_dtype, copy=False)
+        else:
+            self._informed_flat = merge_sorted_disjoint(self._informed_flat, newly)
 
     # -- aggregate queries -----------------------------------------------------
 
@@ -292,7 +420,7 @@ class VectorState:
         arrays), which is shape-agnostic.
         """
         newly_mask = self.pending & ~self.informed
-        newly = np.flatnonzero(newly_mask)
+        newly = np.flatnonzero(newly_mask).astype(self.index_dtype, copy=False)
         if newly.size:
             self.informed.reshape(-1)[newly] = True
             self.informed_round.reshape(-1)[newly] = round_index
@@ -301,6 +429,7 @@ class VectorState:
             else:
                 self._informed_count += newly_mask.sum(axis=1)
         self.pending.fill(False)
+        self._record_newly(newly)
         return newly
 
     def commit_delivered(self, delivered: np.ndarray, round_index: int) -> np.ndarray:
@@ -314,12 +443,18 @@ class VectorState:
         rounds (tiny ``k``) and in the endgame (few live replications).
         """
         total = self.informed.size
-        if delivered.size * 4 >= total:
+        if delivered.size * 4 >= total or total <= self._REBUILD_SCAN_LIMIT:
+            # Dense commits: when the delivery set is a sizeable fraction of
+            # the state — or the state is small enough that whole-plane
+            # passes are trivially cheap — the pending-mask path beats the
+            # sparse sort's per-call bookkeeping.
             self.pending.reshape(-1)[delivered] = True
             return self.commit_round(round_index)
         flat_informed = self.informed.reshape(-1)
         newly = delivered[~flat_informed[delivered]]
+        newly = newly.astype(self.index_dtype, copy=False)
         if newly.size == 0:
+            self._record_newly(newly)
             return newly
         newly = np.sort(newly)
         if newly.size > 1:
@@ -334,4 +469,65 @@ class VectorState:
         else:
             boundaries = np.arange(self.batch + 1, dtype=np.int64) * self.n
             self._informed_count += np.diff(np.searchsorted(newly, boundaries))
+        self._record_newly(newly)
         return newly
+
+    # -- batch row compaction ---------------------------------------------------
+
+    @staticmethod
+    def compact_flat_indices(
+        flat: np.ndarray, keep: np.ndarray, n: int, old_batch: int
+    ) -> np.ndarray:
+        """Remap sorted ``(row * n + node)`` indices onto the kept rows.
+
+        Entries belonging to dropped rows are removed; surviving entries are
+        renumbered so row ``keep[i]`` becomes row ``i``.  Shared by
+        :meth:`compact_rows` and the protocols' ``vector_compact_rows`` hooks
+        (e.g. Algorithm 1's active-node list), so every flat index table is
+        remapped by the same arithmetic.
+        """
+        bounds = np.searchsorted(
+            flat, np.arange(old_batch + 1, dtype=np.int64) * n
+        )
+        keep = np.asarray(keep, dtype=np.int64)
+        lengths = bounds[keep + 1] - bounds[keep]
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=flat.dtype)
+        offsets = np.cumsum(lengths) - lengths
+        within = np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths)
+        source = np.repeat(bounds[keep], lengths) + within
+        # old_row * n  ->  new_row * n
+        shift = (keep - np.arange(keep.size)) * n
+        return (flat[source] - np.repeat(shift, lengths)).astype(
+            flat.dtype, copy=False
+        )
+
+    def compact_rows(self, keep: np.ndarray) -> None:
+        """Drop batch rows not listed in ``keep`` (ascending row indices).
+
+        Used by the batched engine to remap completed replications out of the
+        state: every ``(R, n)`` plane is sliced down to the kept rows and the
+        flat index vectors are renumbered accordingly, so subsequent rounds
+        run over a smaller ensemble.  The caller owns the mapping from
+        compacted row numbers back to original replications.
+        """
+        if self.batch is None:
+            raise ValueError("compact_rows requires a batched state")
+        old_batch = self.batch
+        keep = np.asarray(keep, dtype=np.int64)
+        self.informed = self.informed[keep]
+        self.informed_round = self.informed_round[keep]
+        if self._active is not None:
+            self._active = self._active[keep]
+        if self._pending is not None:
+            self._pending = self._pending[keep]
+        self._informed_count = self._informed_count[keep]
+        self.batch = int(keep.size)
+        if self._track_indices:
+            self._informed_flat = self.compact_flat_indices(
+                self._informed_flat, keep, self.n, old_batch
+            )
+            self._newly_flat = self.compact_flat_indices(
+                self._newly_flat, keep, self.n, old_batch
+            )

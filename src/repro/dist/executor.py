@@ -14,6 +14,16 @@ no matter which process runs it, which makes the merged
 ``run_spec`` result (asserted down to per-round history in
 ``tests/test_dist.py``).
 
+Tasks are dispatched **graph-first**: points that materialise the same graph
+(equal ``ExperimentRunner.graph_cache_key``) are grouped so one worker's
+per-process graph cache serves every sibling point it receives — instead of
+every worker rebuilding identical graphs.  Groups larger than
+``ceil(points / workers)`` are split so a single-graph sweep still uses the
+whole pool (the graph is then built at most once per worker, never once per
+point).  ``run.provenance["graph_builds"]`` records how many graphs the
+pool actually constructed next to ``"graphs_distinct"`` (equal when priming
+was perfect).
+
 Checkpoints (optional) are written by the parent as points complete, so an
 interrupted sweep resumes where it stopped; sharded runs
 (:func:`~repro.dist.partition.select_indices`) execute a deterministic
@@ -41,6 +51,14 @@ __all__ = ["ParallelScenarioExecutor", "merge_runs"]
 
 #: Wire format of one task: (index, values, label, single-point spec dict).
 _Task = Tuple[int, Dict[str, object], str, Dict[str, object]]
+
+#: Tasks are dispatched to the pool in *graph groups*: every task in a group
+#: materialises the same graph (equal ``ExperimentRunner.graph_cache_key``),
+#: so the worker that receives the group builds that graph exactly once and
+#: serves all of its points from the cache.  Without the grouping, sibling
+#: points of one graph land on arbitrary workers and each of them rebuilds
+#: an identical graph.
+_TaskGroup = List[_Task]
 
 #: Per-worker-process runner, created once by the pool initializer so graph
 #: caches persist across the tasks a worker executes.
@@ -80,8 +98,55 @@ def _execute_task(runner, task: _Task) -> Dict[str, object]:
     }
 
 
-def _run_task_in_worker(task: _Task) -> Dict[str, object]:
-    return _execute_task(_WORKER_RUNNER, task)
+def _run_group_in_worker(group: _TaskGroup) -> Dict[str, object]:
+    """Run one graph group and report the payloads plus graph-build count."""
+    builds_before = _WORKER_RUNNER.graph_builds
+    payloads = [_execute_task(_WORKER_RUNNER, task) for task in group]
+    return {
+        "payloads": payloads,
+        "graph_builds": _WORKER_RUNNER.graph_builds - builds_before,
+    }
+
+
+def _group_by_graph(
+    pending: List[ExpandedPoint], workers: int
+) -> List[_TaskGroup]:
+    """Expand the pending points graph-first: task groups of same-graph points.
+
+    Group order follows first appearance in the (row-major) grid and tasks
+    keep their grid order within a group; grouping only affects which
+    *worker* a point lands on (and hence checkpoint/progress completion
+    order), never its seeds or results — points merge by grid index.  With
+    one worker every point is its own group, preserving exact grid order.
+
+    A group is capped at ``ceil(pending / workers)`` tasks so that a sweep
+    whose points all share one graph (e.g. protocol or failure-rate axes
+    over a fixed graph) still spreads across the whole pool: the graph is
+    then built once per *worker that receives a chunk* — at most ``workers``
+    times — instead of once per point, and never at the price of
+    serialising the sweep onto a single process.
+    """
+    from ..experiments.runner import ExperimentRunner
+
+    if workers <= 1:
+        return [
+            [(p.index, p.values, p.label, p.spec.to_dict())] for p in pending
+        ]
+    groups: Dict[tuple, List[_TaskGroup]] = {}
+    order: List[tuple] = []
+    cap = -(-len(pending) // workers)  # ceil division
+    for point in pending:
+        key = ExperimentRunner.graph_cache_key(point.spec.graph)
+        if key not in groups:
+            groups[key] = [[]]
+            order.append(key)
+        chunks = groups[key]
+        if len(chunks[-1]) >= cap:
+            chunks.append([])
+        chunks[-1].append(
+            (point.index, point.values, point.label, point.spec.to_dict())
+        )
+    return [chunk for key in order for chunk in groups[key]]
 
 
 def _point_run_from_payload(payload: Dict[str, object]) -> PointRun:
@@ -174,26 +239,32 @@ class ParallelScenarioExecutor:
             resumed += 1
             self._emit(point.index, total, point.label, 0.0, source="checkpoint")
 
+        from ..experiments.runner import ExperimentRunner
+
         pending = [p for p in selected if p.index not in point_runs]
-        tasks: List[_Task] = [
-            (p.index, p.values, p.label, p.spec.to_dict()) for p in pending
-        ]
+        graphs_distinct = len(
+            {ExperimentRunner.graph_cache_key(p.spec.graph) for p in pending}
+        )
+        groups = _group_by_graph(pending, self.workers)
         runner_kwargs = {
             "master_seed": spec.master_seed,
             "repetitions": spec.repetitions,
             "engine": spec.engine,
             "batch": spec.batch,
         }
-        for payload in self._execute(tasks, runner_kwargs):
-            if store is not None:
-                store.save(payload)
-            point_runs[int(payload["index"])] = _point_run_from_payload(payload)
-            self._emit(
-                int(payload["index"]),
-                total,
-                payload["label"],
-                float(payload["elapsed_seconds"]),
-            )
+        graph_builds = 0
+        for group_result in self._execute(groups, runner_kwargs):
+            graph_builds += int(group_result["graph_builds"])
+            for payload in group_result["payloads"]:
+                if store is not None:
+                    store.save(payload)
+                point_runs[int(payload["index"])] = _point_run_from_payload(payload)
+                self._emit(
+                    int(payload["index"]),
+                    total,
+                    payload["label"],
+                    float(payload["elapsed_seconds"]),
+                )
 
         run = ScenarioRun(
             spec=spec,
@@ -206,6 +277,14 @@ class ParallelScenarioExecutor:
             "points_selected": len(selected),
             "points_run": len(pending),
             "points_resumed": resumed,
+            # Distinct graphs among the executed points vs. graphs actually
+            # constructed across the pool: equal means the graph-first
+            # grouping primed every worker cache perfectly (no sibling
+            # rebuilt a graph another worker already built); builds may
+            # exceed it when a large same-graph group was split across
+            # workers to keep the pool busy.
+            "graphs_distinct": graphs_distinct,
+            "graph_builds": graph_builds,
             "wall_clock_seconds": round(time.perf_counter() - started, 6),
             "checkpoint_dir": (
                 str(self.checkpoint_dir) if self.checkpoint_dir is not None else None
@@ -230,25 +309,30 @@ class ParallelScenarioExecutor:
             )
 
     def _execute(
-        self, tasks: List[_Task], runner_kwargs: Dict[str, object]
+        self, groups: List[_TaskGroup], runner_kwargs: Dict[str, object]
     ) -> Iterable[Dict[str, object]]:
-        if not tasks:
+        if not groups:
             return
         if self.workers == 1:
             runner = _build_runner(runner_kwargs)
-            for task in tasks:
-                yield _execute_task(runner, task)
+            for group in groups:
+                builds_before = runner.graph_builds
+                payloads = [_execute_task(runner, task) for task in group]
+                yield {
+                    "payloads": payloads,
+                    "graph_builds": runner.graph_builds - builds_before,
+                }
             return
         context = multiprocessing.get_context(self.mp_context)
         pool = context.Pool(
-            processes=min(self.workers, len(tasks)),
+            processes=min(self.workers, len(groups)),
             initializer=_init_worker,
             initargs=(runner_kwargs,),
         )
         try:
-            # chunksize=1 so slow points do not pin fast ones behind them;
-            # completion order is nondeterministic, merging is by index.
-            yield from pool.imap_unordered(_run_task_in_worker, tasks, chunksize=1)
+            # chunksize=1 so a slow graph group does not pin fast ones behind
+            # it; completion order is nondeterministic, merging is by index.
+            yield from pool.imap_unordered(_run_group_in_worker, groups, chunksize=1)
         finally:
             pool.terminate()
             pool.join()

@@ -133,6 +133,10 @@ class ExperimentRunner:
 
     def __post_init__(self) -> None:
         self._graph_cache: Dict[tuple, Graph] = {}
+        #: Graphs actually constructed by this runner (cache misses).  The
+        #: distributed executor reads it to report, per sweep, how many graph
+        #: builds the worker pool performed in total.
+        self.graph_builds: int = 0
         # Hoisted out of broadcast(): the engine-override config is identical
         # for every call without a caller config, so build it once instead of
         # running SimulationConfig.with_overrides per sweep point.
@@ -152,8 +156,28 @@ class ExperimentRunner:
             # Pre-warm the CSR view while the graph is being cached, so
             # repeated (batched) runs never pay the adjacency export again.
             graph.csr()
+            self.graph_builds += 1
             self._graph_cache[key] = graph
         return self._graph_cache[key]
+
+    @staticmethod
+    def graph_cache_key(graph_spec: "GraphSpec") -> tuple:
+        """The cache identity of a spec's graph (family, params, instance).
+
+        Two grid points with equal keys materialise the *same* graph, so the
+        distributed executor groups them onto one worker (graph-first
+        expansion): each (family, n, d, seed) graph is then built at most
+        once across the whole pool instead of once per worker that happens
+        to receive one of its points.
+        """
+        params = graph_spec.params
+        if graph_spec.family == "connected-random-regular" and set(params) == {"n", "d"}:
+            return (params["n"], params["d"], graph_spec.instance)
+        return (
+            graph_spec.family,
+            tuple(sorted(params.items())),
+            graph_spec.instance,
+        )
 
     def run_seeds(self, label: str, count: Optional[int] = None) -> List[int]:
         """Deterministic per-configuration run seeds."""
@@ -234,11 +258,7 @@ class ExperimentRunner:
         params = graph_spec.params
         if graph_spec.family == "connected-random-regular" and set(params) == {"n", "d"}:
             return self.regular_graph(params["n"], params["d"], graph_spec.instance)
-        key = (
-            graph_spec.family,
-            tuple(sorted(params.items())),
-            graph_spec.instance,
-        )
+        key = self.graph_cache_key(graph_spec)
         if key not in self._graph_cache:
             rng = None
             if graph_needs_rng(graph_spec.family):
@@ -254,6 +274,7 @@ class ExperimentRunner:
             if graph.has_contiguous_ids():
                 # Pre-warm the CSR view, mirroring regular_graph().
                 graph.csr()
+            self.graph_builds += 1
             self._graph_cache[key] = graph
         return self._graph_cache[key]
 

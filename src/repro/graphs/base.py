@@ -19,6 +19,18 @@ import numpy as np
 __all__ = ["Graph"]
 
 
+def csr_index_dtype(n: int, stub_count: int) -> np.dtype:
+    """The narrowest index dtype that can address a CSR view of this size.
+
+    ``int32`` halves the memory traffic of every stub gather in the bulk
+    engines (and the resident size of million-node graphs); ``int64`` is used
+    only when the stub count or node count could overflow 32-bit indexing.
+    """
+    if max(int(n) + 1, int(stub_count)) < 2**31:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
 class Graph:
     """An undirected (multi)graph stored as adjacency lists.
 
@@ -95,9 +107,10 @@ class Graph:
         src = edges.ravel()
         dst = edges[:, ::-1].ravel()
         order = np.argsort(src, kind="stable")
-        grouped = dst[order]
+        dtype = csr_index_dtype(n, src.size)
+        grouped = dst[order].astype(dtype, copy=False)
         counts = np.bincount(src, minlength=n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=dtype)
         np.cumsum(counts, out=indptr[1:])
         graph = cls()
         graph._adjacency = {}
@@ -118,8 +131,11 @@ class Graph:
         :meth:`csr` would report it.  The arrays are adopted, not copied, and
         must not be mutated by the caller afterwards.
         """
-        indptr = np.asarray(indptr, dtype=np.int64)
-        indices = np.asarray(indices, dtype=np.int64)
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        dtype = csr_index_dtype(n, indices.size)
+        indptr = indptr.astype(dtype, copy=False)
+        indices = indices.astype(dtype, copy=False)
         if indptr.ndim != 1 or indptr.size != n + 1:
             raise ValueError(f"indptr must have shape ({n + 1},), got {indptr.shape}")
         if indices.ndim != 1 or indices.size != int(indptr[-1]):
@@ -344,9 +360,10 @@ class Graph:
             counts = np.empty(n, dtype=np.int64)
             for node in range(n):
                 counts[node] = len(self._adjacency[node])
-            indptr = np.zeros(n + 1, dtype=np.int64)
+            dtype = csr_index_dtype(n, int(counts.sum()))
+            indptr = np.zeros(n + 1, dtype=dtype)
             np.cumsum(counts, out=indptr[1:])
-            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            indices = np.empty(int(indptr[-1]), dtype=dtype)
             for node in range(n):
                 start, end = indptr[node], indptr[node + 1]
                 if end > start:

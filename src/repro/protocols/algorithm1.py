@@ -30,7 +30,7 @@ from typing import Optional, Set
 import numpy as np
 
 from ..core.errors import ConfigurationError
-from ..core.node import NodeState, StateTable, VectorState
+from ..core.node import NodeState, StateTable, VectorState, merge_sorted_disjoint
 from .base import BroadcastProtocol
 from .schedule import PhaseSchedule, algorithm1_schedule
 
@@ -82,6 +82,13 @@ class Algorithm1(BroadcastProtocol):
         )
         if fanout != 4:
             self.name = f"algorithm1-f{fanout}"
+        # Sorted flat indices of Phase-3/4 "active" nodes, maintained by the
+        # bulk commit hook (the index-pool counterpart of the boolean
+        # ``state.active`` plane).  Per-run state, dropped by reset().
+        self._active_flat: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._active_flat = None
 
     # -- scheduling -----------------------------------------------------------
 
@@ -122,6 +129,8 @@ class Algorithm1(BroadcastProtocol):
 
     # -- bulk hooks -----------------------------------------------------------------
 
+    uses_index_pools = True
+
     def vector_fanout(self, round_index: int) -> int:
         return self._fanout
 
@@ -137,6 +146,25 @@ class Algorithm1(BroadcastProtocol):
             )
         return np.zeros(state.shape, dtype=bool)
 
+    def vector_push_samplers(
+        self, round_index: int, state: VectorState
+    ) -> Optional[np.ndarray]:
+        phase = self.schedule.phase_of(round_index)
+        if phase == 1:
+            # Exactly the nodes first informed in the previous round — the
+            # engine hands them to us as last round's commit set.
+            return state.newly_flat
+        if phase == 2:
+            return state.informed_flat
+        if phase == 4:
+            # active ∪ newly(r-1): every Phase-4 round is preceded by a
+            # Phase-3/4 round, whose commit already merged its newly informed
+            # nodes into the active list, so the list alone is the push set.
+            if self._active_flat is None:
+                return state.newly_flat[:0]
+            return self._active_flat
+        return state.newly_flat[:0]
+
     def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
         if self.schedule.phase_of(round_index) == 3:
             return state.informed
@@ -149,6 +177,18 @@ class Algorithm1(BroadcastProtocol):
             # newly_informed holds flat indices (row-major for a batch), so
             # flip the flag through the flattened view.
             state.active.reshape(-1)[newly_informed] = True
+            if self._active_flat is None:
+                self._active_flat = newly_informed.copy()
+            else:
+                self._active_flat = merge_sorted_disjoint(
+                    self._active_flat, newly_informed
+                )
+
+    def vector_compact_rows(self, keep: np.ndarray, n: int, old_batch: int) -> None:
+        if self._active_flat is not None:
+            self._active_flat = VectorState.compact_flat_indices(
+                self._active_flat, keep, n, old_batch
+            )
 
     # -- lifecycle -----------------------------------------------------------------
 

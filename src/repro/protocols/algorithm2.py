@@ -87,6 +87,8 @@ class Algorithm2(BroadcastProtocol):
 
     # -- bulk hooks -----------------------------------------------------------------
 
+    uses_index_pools = True
+
     def vector_fanout(self, round_index: int) -> int:
         return self._fanout
 
@@ -97,6 +99,16 @@ class Algorithm2(BroadcastProtocol):
         if phase == 2:
             return state.informed
         return np.zeros(state.shape, dtype=bool)
+
+    def vector_push_samplers(
+        self, round_index: int, state: VectorState
+    ) -> Optional[np.ndarray]:
+        phase = self.schedule.phase_of(round_index)
+        if phase == 1:
+            return state.newly_flat
+        if phase == 2:
+            return state.informed_flat
+        return state.newly_flat[:0]
 
     def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
         # The pull tail: every informed node answers all incoming calls, so

@@ -183,6 +183,62 @@ class BroadcastProtocol(ABC):
     #: check so engines skip the hook entirely in the common uniform case.
     has_custom_vector_targets: bool = False
 
+    #: Opt-in for the engines' sorted informed-index tracking
+    #: (:meth:`repro.core.node.VectorState.enable_index_tracking`).  Protocols
+    #: that set this True may implement :meth:`vector_push_samplers` /
+    #: :meth:`vector_caller_pool` in terms of ``state.informed_flat`` /
+    #: ``state.newly_flat``, letting push-only rounds sample in O(informed)
+    #: instead of scanning every node's flag.
+    uses_index_pools: bool = False
+
+    def vector_push_samplers(
+        self, round_index: int, state: VectorState
+    ) -> Optional[np.ndarray]:
+        """Sorted flat indices of this round's pushers, or ``None``.
+
+        Index-vector counterpart of :meth:`vector_wants_push`, consulted only
+        in push-only rounds of protocols with :attr:`uses_index_pools`.  The
+        returned array must equal
+        ``np.flatnonzero(vector_wants_push(...).reshape(-1))`` — same set,
+        ascending order — so the draw sequence is unchanged whichever
+        representation the engine uses.  Protocols typically return a view of
+        an engine-maintained set (``state.informed_flat``,
+        ``state.newly_flat``) or of their own sorted index table; ``None``
+        falls back to the boolean-mask path.  A subclass that overrides
+        :meth:`vector_wants_push` must override this consistently (or return
+        ``None``).
+        """
+        return None
+
+    def vector_caller_pool(
+        self, round_index: int, state: VectorState
+    ) -> Optional[np.ndarray]:
+        """Sorted flat indices of the calling nodes, or ``None``.
+
+        Index-vector counterpart of :meth:`vector_caller_mask` for channel
+        accounting: when a protocol's callers are exactly an engine-maintained
+        index set (e.g. the quasirandom protocol's informed nodes), returning
+        it lets the engines charge channels with an O(callers) segment sum
+        instead of an O(R·n) mask reduction.  ``None`` (the default) keeps the
+        mask path.  Must describe the same set as :meth:`vector_caller_mask`.
+        """
+        return None
+
+    def vector_compact_rows(self, keep: np.ndarray, n: int, old_batch: int) -> None:
+        """Remap per-replication protocol state onto the kept batch rows.
+
+        Called by the batched engine when it compacts completed replications
+        out of its ``(R, n)`` state: ``keep`` holds the surviving row indices
+        (ascending) of the previous ``old_batch``-row layout, and row
+        ``keep[i]`` becomes row ``i``.  Protocols that hold per-replication
+        state outside the engine-owned :class:`VectorState` — pointer tables
+        shaped ``(R, n)``, per-row index lists, etc. — must drop the dead
+        rows here (2-D tables: ``table[keep]``; sorted flat index vectors:
+        :meth:`VectorState.compact_flat_indices`).  Stateless protocols
+        inherit the no-op.  The hook is only ever invoked between rounds,
+        after the round's deliveries have committed.
+        """
+
     def vector_fanout(self, round_index: int) -> int:
         """Uniform per-node fanout for ``round_index`` (bulk engine only).
 

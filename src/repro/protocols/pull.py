@@ -67,6 +67,10 @@ class PullProtocol(BroadcastProtocol, OptionalHorizonMixin):
 
     # -- bulk hooks -----------------------------------------------------------
 
+    # No index pools: pull rounds sample every node with a neighbour (any
+    # caller may receive), so there is no push-only sampling to shrink; the
+    # engines' delivery path still commits only the uninformed hits sparsely.
+
     def vector_fanout(self, round_index: int) -> int:
         return self._fanout
 

@@ -81,11 +81,18 @@ class PushProtocol(BroadcastProtocol, OptionalHorizonMixin):
 
     # -- bulk hooks -----------------------------------------------------------
 
+    uses_index_pools = True
+
     def vector_fanout(self, round_index: int) -> int:
         return self._fanout
 
     def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
         return state.informed
+
+    def vector_push_samplers(self, round_index: int, state: VectorState) -> np.ndarray:
+        # Pushers are exactly the informed nodes, which the engine already
+        # maintains as a sorted index vector — sampling is O(informed).
+        return state.informed_flat
 
     def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
         return np.zeros(state.shape, dtype=bool)

@@ -94,6 +94,10 @@ class PushPullProtocol(BroadcastProtocol, OptionalHorizonMixin):
 
     # -- bulk hooks -----------------------------------------------------------
 
+    # No index pools: every round is also a pull round, so the engines sample
+    # every node with a neighbour regardless of the push set; the push subset
+    # is selected by one mask gather over the sampled channels instead.
+
     def vector_fanout(self, round_index: int) -> int:
         return self._fanout
 

@@ -101,6 +101,8 @@ class QuasirandomPushProtocol(BroadcastProtocol, OptionalHorizonMixin):
 
     # -- bulk hooks -----------------------------------------------------------
 
+    uses_index_pools = True
+
     def vector_fanout(self, round_index: int) -> int:
         return 1
 
@@ -109,11 +111,25 @@ class QuasirandomPushProtocol(BroadcastProtocol, OptionalHorizonMixin):
         # not be charged channels by the bulk engines either.
         return state.informed
 
+    def vector_caller_pool(self, round_index: int, state: VectorState) -> np.ndarray:
+        # Same set as the caller mask, as the engine-maintained index vector:
+        # channel accounting becomes an O(informed) segment sum.
+        return state.informed_flat
+
     def vector_wants_push(self, round_index: int, state: VectorState) -> np.ndarray:
         return state.informed
 
+    def vector_push_samplers(self, round_index: int, state: VectorState) -> np.ndarray:
+        return state.informed_flat
+
     def vector_wants_pull(self, round_index: int, state: VectorState) -> np.ndarray:
         return np.zeros(state.shape, dtype=bool)
+
+    def vector_compact_rows(self, keep: np.ndarray, n: int, old_batch: int) -> None:
+        # The cursor table is per replication; drop the completed rows so it
+        # keeps the engine state's (R, n) shape.
+        if self._pointer_table is not None:
+            self._pointer_table = self._pointer_table[keep]
 
     def vector_call_targets(
         self,
@@ -135,7 +151,9 @@ class QuasirandomPushProtocol(BroadcastProtocol, OptionalHorizonMixin):
         """
         table = self._pointer_table
         if table is None or table.shape != state.shape:
-            table = np.full(state.shape, -1, dtype=np.int64)
+            # int32 cursors: values stay below horizon + degree, and the
+            # table is the protocol's only (R, n) footprint.
+            table = np.full(state.shape, -1, dtype=np.int32)
             self._pointer_table = table
         cursors = table if row is None else table[row]
         sampler_degrees = degrees[samplers]

@@ -364,6 +364,22 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "shard 1/2 selects 2 of 4" in output
 
+    def test_dry_run_predicts_batch_shape_and_engine(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        assert main(["run-spec", str(path), "--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "batch_shape" in output and "est_state_mb" in output
+        # 2 seeds per point, sizes 64 and 128, push/pull both batchable.
+        assert "(2, 64)" in output and "(2, 128)" in output
+        assert "vectorized (batched)" in output
+        assert "est_state_mb" in output
+
+    def test_dry_run_predicts_scalar_for_forced_scalar_spec(self, tmp_path, capsys):
+        path = save_spec(sweep_spec(engine="scalar"), tmp_path / "scalar.json")
+        assert main(["run-spec", str(path), "--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "scalar (forced)" in output
+
     def test_workers_flag_matches_serial_save(self, tmp_path, capsys):
         path = self._write_spec(tmp_path)
         serial_out = tmp_path / "serial.json"
@@ -402,3 +418,67 @@ class TestCLI:
         # E2 has no parallel path: the registry must say so clearly.
         with pytest.raises(Exception, match="workers"):
             main(["experiment", "E2", "--workers", "2"])
+
+
+class TestGraphCachePriming:
+    def test_parallel_pool_builds_each_graph_once(self):
+        # 2 protocols x 2 sizes = 4 points over 2 distinct graphs: the
+        # graph-first grouping must route both points of one graph to one
+        # worker, so the pool builds exactly graphs_distinct graphs instead
+        # of rebuilding them per sibling point.
+        run = run_spec(sweep_spec(), workers=2)
+        assert run.provenance["graphs_distinct"] == 2
+        assert run.provenance["graph_builds"] == 2
+
+    def test_grouping_keeps_bit_parity_and_grid_order(self):
+        serial = run_spec(sweep_spec())
+        grouped = run_spec(sweep_spec(), workers=2)
+        assert [p.index for p in grouped.points] == [p.index for p in serial.points]
+        assert_bit_identical(serial, grouped)
+
+    def test_single_worker_path_counts_builds(self):
+        run = run_spec(sweep_spec(), workers=1)
+        assert run.provenance["graph_builds"] == 2
+        assert run.provenance["graphs_distinct"] == 2
+
+    def test_resume_skips_builds_for_checkpointed_points(self, tmp_path):
+        spec = sweep_spec()
+        run_spec(spec, workers=1, checkpoint_dir=tmp_path)
+        resumed = run_spec(spec, workers=1, checkpoint_dir=tmp_path, resume=True)
+        assert resumed.provenance["points_resumed"] == 4
+        assert resumed.provenance["graph_builds"] == 0
+        assert resumed.provenance["graphs_distinct"] == 0
+
+    def test_single_graph_sweep_still_uses_the_whole_pool(self):
+        # All four points share one graph; the group must be split across
+        # the workers (graph built once per worker at worst) instead of
+        # serialising the sweep onto a single process.
+        from repro.dist.executor import _group_by_graph
+        from repro.dist.partition import expand_points
+
+        spec = sweep_spec(
+            sweep=SweepSpec(
+                axes=(
+                    SweepAxis(
+                        path="protocol.name",
+                        values=("push", "pull", "push-pull", "algorithm1"),
+                        key="protocol",
+                    ),
+                )
+            )
+        )
+        groups = _group_by_graph(expand_points(spec), workers=2)
+        assert len(groups) == 2
+        assert sorted(len(g) for g in groups) == [2, 2]
+        run = run_spec(spec, workers=2)
+        assert run.provenance["graphs_distinct"] == 1
+        # At most one build per worker that received a chunk.
+        assert 1 <= run.provenance["graph_builds"] <= 2
+        assert_bit_identical(run_spec(spec), run)
+
+    def test_workers_one_groups_preserve_grid_order(self):
+        from repro.dist.executor import _group_by_graph
+        from repro.dist.partition import expand_points
+
+        groups = _group_by_graph(expand_points(sweep_spec()), workers=1)
+        assert [task[0] for group in groups for task in group] == [0, 1, 2, 3]
