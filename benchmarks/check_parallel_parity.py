@@ -8,10 +8,17 @@ spec.  Only ``metadata["distributed"]`` (worker count, wall-clock, shard
 layout) may differ, because that block records *how* the table was produced,
 never *what* it contains.
 
+``--chaos`` additionally replays every bundled fault plan
+(:func:`repro.faultinject.bundled_plans`) against the parallel run: worker
+kills, double transient errors, timeout stalls, and torn checkpoint writes
+must all be survived **bit-identically** to the serial table, and the
+poison-point plan must quarantine exactly its designed point while every
+other row still matches the serial run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_parallel_parity.py \
-        [--spec examples/specs/e1_round_complexity.json] [--workers 2]
+        [--spec examples/specs/e1_round_complexity.json] [--workers 2] [--chaos]
 """
 
 from __future__ import annotations
@@ -37,10 +44,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workers", type=int, default=2, help="worker process count (default 2)"
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "also replay every bundled fault plan against the parallel run "
+            "and require bit-identical recovery (poison plan: exact quarantine)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     spec = load_spec(args.spec)
-    print(f"spec: {spec.name} ({spec.sweep.size if spec.sweep else 1} points)")
+    point_count = spec.sweep.size if spec.sweep else 1
+    print(f"spec: {spec.name} ({point_count} points)")
 
     start = time.perf_counter()
     serial_table = run_spec(spec).to_table()
@@ -75,7 +91,86 @@ def main(argv=None) -> int:
         f"({len(serial_table.rows)} rows, "
         f"{parallel_table.metadata['distributed']['points_total']} points)"
     )
+    if args.chaos:
+        return run_chaos(spec, point_count, args.workers, serial_table)
     return 0
+
+
+def run_chaos(spec, point_count, workers, serial_table) -> int:
+    """Replay every bundled fault plan; require bit-identical recovery."""
+    import tempfile
+
+    from repro.dist import RetryPolicy
+    from repro.faultinject import bundled_plans
+
+    # The 2s point budget sits far above the real per-point runtime
+    # (~20ms for the bundled E1 spec) and well below the injected 8s
+    # stall, so stall detection fires only for the injected fault.
+    retry = RetryPolicy(
+        max_attempts=3, backoff_seconds=0.01, backoff_max_seconds=0.1,
+        timeout_seconds=2.0,
+    )
+    exit_code = 0
+    for name, plan in bundled_plans(point_count, stall_duration=8.0).items():
+        start = time.perf_counter()
+        with tempfile.TemporaryDirectory() as checkpoint_dir:
+            chaos_table = run_spec(
+                spec,
+                workers=workers,
+                retry=retry,
+                fault_plan=plan,
+                checkpoint_dir=checkpoint_dir,
+            ).to_table()
+        elapsed = time.perf_counter() - start
+        provenance = chaos_table.metadata["distributed"]
+        recovery = (
+            f"retries={provenance['retries']} "
+            f"pool_restarts={provenance['pool_restarts']}"
+        )
+        if name == "poison-point":
+            # The one designed-to-fail plan: exactly the poisoned point is
+            # quarantined, every surviving row still matches the serial run.
+            poisoned = point_count - 1
+            quarantined = [f["index"] for f in provenance["failures"]]
+            surviving = [
+                row for i, row in enumerate(serial_table.rows) if i != poisoned
+            ]
+            if quarantined != [poisoned] or chaos_table.rows != surviving:
+                print(
+                    f"CHAOS FAILURE [{name}]: expected exactly point "
+                    f"{poisoned} quarantined with all other rows serial-"
+                    f"identical; got quarantined={quarantined}",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+                continue
+            print(
+                f"chaos [{name}] {elapsed:.2f}s: quarantined point "
+                f"{poisoned} only, {len(surviving)} surviving rows "
+                f"identical ({recovery})"
+            )
+            continue
+        mismatched = [
+            attribute
+            for attribute in ("title", "columns", "rows", "notes")
+            if getattr(serial_table, attribute)
+            != getattr(chaos_table, attribute)
+        ]
+        if provenance["failures"]:
+            mismatched.append(f"unexpected quarantine {provenance['failures']}")
+        if mismatched:
+            print(
+                f"CHAOS FAILURE [{name}]: differs from serial in "
+                f"{', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+            continue
+        print(
+            f"chaos [{name}] {elapsed:.2f}s: survived bit-identically "
+            f"({recovery})"
+        )
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -89,10 +89,14 @@ from .spec import (
 )
 from .dist import (
     ParallelScenarioExecutor,
+    PointFailure,
     PointProgress,
+    RetryPolicy,
+    SweepInterrupted,
     log_point_progress,
     merge_runs,
 )
+from .faultinject import FaultPlan, FaultRule
 
 __version__ = "1.2.0"
 
@@ -165,4 +169,10 @@ __all__ = [
     "merge_runs",
     "PointProgress",
     "log_point_progress",
+    # resilience & fault injection
+    "RetryPolicy",
+    "PointFailure",
+    "SweepInterrupted",
+    "FaultPlan",
+    "FaultRule",
 ]

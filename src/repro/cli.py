@@ -25,6 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .core.errors import ConfigurationError
 from .core.metrics import aggregate_runs
 from .core.registry import Registry
 from .core.rng import RandomSource, derive_seed
@@ -161,6 +162,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print one line per completed grid point (to stderr)",
+    )
+    run_spec_cmd.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "execution attempts per grid point before it is quarantined and "
+            "the sweep continues without it (default 3; quarantined points "
+            "are listed in the table notes and provenance)"
+        ),
+    )
+    run_spec_cmd.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-point wall-clock budget; a stalled worker is restarted and "
+            "the overdue point retried (parallel runs only)"
+        ),
+    )
+    # Deterministic fault injection — test machinery for the resilience
+    # layer (see repro.faultinject), deliberately absent from --help.
+    run_spec_cmd.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help=argparse.SUPPRESS,
     )
 
     experiment = subparsers.add_parser(
@@ -354,12 +384,7 @@ def _dry_run_table(spec: ScenarioSpec, shard: Optional[str]) -> Table:
 
     points = expand_points(spec)
     indices = select_indices(len(points), shard=shard)
-    runner = ExperimentRunner(
-        master_seed=spec.master_seed,
-        repetitions=spec.repetitions,
-        engine=spec.engine,
-        batch=spec.batch,
-    )
+    runner = ExperimentRunner.from_spec(spec)
     axis_keys = (
         [axis.label_key for axis in spec.sweep.axes] if spec.sweep is not None else []
     )
@@ -425,19 +450,49 @@ def _dry_run_table(spec: ScenarioSpec, shard: Optional[str]) -> Table:
 
 def _run_run_spec(args: argparse.Namespace) -> int:
     from .dist.progress import print_point_progress
+    from .dist.resilience import RetryPolicy, SweepInterrupted
+
+    if args.resume and args.checkpoint_dir is None:
+        # Fail before any work (or spec parsing) happens: a typo'd resume
+        # would otherwise silently re-run the whole sweep from scratch.
+        raise ConfigurationError(
+            "--resume requires --checkpoint-dir: resuming needs the directory "
+            "that holds the earlier run's point checkpoints"
+        )
 
     spec = load_spec(args.spec_file)
     if args.dry_run:
         print(_dry_run_table(spec, args.shard).render())
         return 0
-    run = run_spec(
-        spec,
-        workers=args.workers,
-        shard=args.shard,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        progress=print_point_progress if args.progress else None,
-    )
+
+    retry = None
+    if args.max_attempts is not None or args.point_timeout is not None:
+        kwargs = {}
+        if args.max_attempts is not None:
+            kwargs["max_attempts"] = args.max_attempts
+        if args.point_timeout is not None:
+            kwargs["timeout_seconds"] = args.point_timeout
+        retry = RetryPolicy(**kwargs)
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .faultinject import load_plan
+
+        fault_plan = load_plan(args.fault_plan)
+
+    try:
+        run = run_spec(
+            spec,
+            workers=args.workers,
+            shard=args.shard,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            progress=print_point_progress if args.progress else None,
+            retry=retry,
+            fault_plan=fault_plan,
+        )
+    except SweepInterrupted as interrupted:
+        print(str(interrupted), file=sys.stderr)
+        return 130  # conventional exit status for SIGINT-terminated commands
     table = run.to_table()
     print(table.render())
     if args.save:

@@ -10,6 +10,15 @@ completed point so interrupted sweeps resume where they stopped
 run — the label-keyed seed derivation makes every point's randomness
 independent of where (and in which order) it executes.
 
+The executor is fault-tolerant (:mod:`~repro.dist.resilience`): failing
+points are isolated, retried with deterministic backoff, and quarantined
+after exhausting their budget; dead workers are detected and their in-flight
+points resubmitted; per-point wall-clock budgets catch stalls; a pool that
+keeps dying degrades gracefully to in-process serial execution; and
+SIGINT/SIGTERM shut the sweep down cleanly into a resumable checkpoint
+directory (:class:`SweepInterrupted`).  Deterministic fault injection for
+all of it lives in :mod:`repro.faultinject`.
+
 The usual entry point is ``run_spec(spec, workers=N, ...)``; this package is
 the machinery behind it, exposed for callers that need shard-level control
 (e.g. running one shard per host and merging with :func:`merge_runs`).
@@ -17,6 +26,13 @@ the machinery behind it, exposed for callers that need shard-level control
 
 from .checkpoint import CHECKPOINT_SCHEMA, CheckpointStore, spec_fingerprint
 from .executor import ParallelScenarioExecutor, merge_runs
+from .resilience import (
+    PointFailure,
+    RetryPolicy,
+    SweepInterrupted,
+    WorkerPoolError,
+    backoff_delay,
+)
 from .partition import (
     ExpandedPoint,
     expand_points,
@@ -37,6 +53,11 @@ __all__ = [
     "spec_fingerprint",
     "ParallelScenarioExecutor",
     "merge_runs",
+    "RetryPolicy",
+    "PointFailure",
+    "SweepInterrupted",
+    "WorkerPoolError",
+    "backoff_delay",
     "ExpandedPoint",
     "expand_points",
     "parse_shard",

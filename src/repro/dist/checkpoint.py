@@ -11,21 +11,29 @@ results.
 
 Files are written atomically (temp file + rename) so a run killed mid-write
 never leaves a truncated checkpoint behind — at worst the interrupted point
-re-runs on resume.
+re-runs on resume.  A checkpoint that *is* corrupt anyway (torn by the
+filesystem, truncated by an external copy) is quarantined on load: the file
+is renamed to ``*.corrupt`` and the point simply re-runs and rewrites it
+cleanly, instead of the resume failing — or silently skipping the same
+broken file — forever.  Stale ``*.json.tmp`` leftovers from a killed writer
+are swept on load for the same reason.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, List, Union
 
 from ..core.errors import ConfigurationError
 from ..spec.scenario import ScenarioSpec
 
 __all__ = ["CHECKPOINT_SCHEMA", "spec_fingerprint", "CheckpointStore"]
+
+logger = logging.getLogger("repro.dist")
 
 #: Version written into checkpoint files; bumped on breaking payload changes.
 CHECKPOINT_SCHEMA = 1
@@ -80,28 +88,66 @@ class CheckpointStore:
         }
         destination = self.path_for(int(index))
         temporary = destination.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(record))
-        os.replace(temporary, destination)
+        try:
+            temporary.write_text(json.dumps(record))
+            os.replace(temporary, destination)
+        except BaseException:
+            # Never leave a half-written temp behind an interrupt or a full
+            # disk; the point will simply re-run.
+            temporary.unlink(missing_ok=True)
+            raise
         return destination
+
+    def discard_stale_temps(self) -> List[Path]:
+        """Delete leftover ``*.json.tmp`` files from a killed writer.
+
+        These are writes that never reached their atomic rename; the points
+        they belonged to have no checkpoint and re-run on resume, so the
+        temps are pure litter (and would otherwise accumulate forever).
+        Returns the removed paths.
+        """
+        removed: List[Path] = []
+        for temporary in sorted(self.directory.glob("point-*.json.tmp")):
+            try:
+                temporary.unlink()
+            except OSError:  # pragma: no cover - racing writer keeps its file
+                continue
+            removed.append(temporary)
+        if removed:
+            logger.warning(
+                "removed %d stale checkpoint temp file(s) from %s",
+                len(removed),
+                self.directory,
+            )
+        return removed
 
     def load(self) -> Dict[int, Dict[str, object]]:
         """All checkpointed point payloads, keyed by grid index.
 
         Raises :class:`ConfigurationError` when the directory holds
         checkpoints of a *different* scenario (fingerprint mismatch) or of a
-        newer checkpoint schema; a corrupt (e.g. truncated) file also fails
-        loudly rather than silently re-running the point, so operators see
-        why a resume did less — or more — work than expected.
+        newer checkpoint schema.  A corrupt (e.g. truncated) file is
+        **quarantined** instead: renamed to ``<name>.corrupt`` with a
+        warning on the ``repro.dist`` logger, so the point re-runs and
+        rewrites its checkpoint cleanly — a torn write costs one point, not
+        the resume.
         """
         completed: Dict[int, Dict[str, object]] = {}
+        self.discard_stale_temps()
         for path in sorted(self.directory.glob("point-*.json")):
             try:
                 record = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError) as error:
-                raise ConfigurationError(
-                    f"checkpoint file {path} is unreadable ({error}); delete it "
-                    "to re-run that point"
-                ) from error
+                quarantine = path.with_name(path.name + ".corrupt")
+                os.replace(path, quarantine)
+                logger.warning(
+                    "checkpoint file %s is corrupt (%s); quarantined to %s — "
+                    "the point will re-run",
+                    path,
+                    error,
+                    quarantine,
+                )
+                continue
             version = record.get("schema_version", 1)
             if not isinstance(version, int) or version > CHECKPOINT_SCHEMA:
                 raise ConfigurationError(

@@ -1,18 +1,20 @@
 """Parallel execution of scenario sweeps over worker processes.
 
 :class:`ParallelScenarioExecutor` fans the grid points of one
-:class:`~repro.spec.ScenarioSpec` out over a :mod:`multiprocessing` pool.
-Nothing unpicklable crosses the process boundary: each task is the point's
-index, axis values, baked label, and its **serialised single-point spec**;
-the worker rebuilds the graph, protocol, and failure model from the spec
-through the registries and returns the results as JSON-safe dicts
-(:meth:`RunResult.to_dict`).  Because the seeding discipline keys every
-random stream off the master seed and the point's label — never off
-execution order or worker identity — a point produces bit-identical results
-no matter which process runs it, which makes the merged
+:class:`~repro.spec.ScenarioSpec` out over a process pool.  Nothing
+unpicklable crosses the process boundary: each task is the point's index,
+axis values, baked label, its **serialised single-point spec**, and its
+dispatch count; the worker rebuilds the graph, protocol, and failure model
+from the spec through the registries and returns the results as JSON-safe
+dicts (:meth:`RunResult.to_dict`).  Because the seeding discipline keys
+every random stream off the master seed and the point's label — never off
+execution order, worker identity, or *how many times the point had to be
+attempted* — a point produces bit-identical results no matter which process
+runs it (or re-runs it), which makes the merged
 :class:`~repro.spec.ScenarioRun` **bit-identical to the serial**
 ``run_spec`` result (asserted down to per-round history in
-``tests/test_dist.py``).
+``tests/test_dist.py``, and under injected faults in
+``tests/test_faultinject.py``).
 
 Tasks are dispatched **graph-first**: points that materialise the same graph
 (equal ``ExperimentRunner.graph_cache_key``) are grouped so one worker's
@@ -24,32 +26,75 @@ point).  ``run.provenance["graph_builds"]`` records how many graphs the
 pool actually constructed next to ``"graphs_distinct"`` (equal when priming
 was perfect).
 
+The executor is **fault-tolerant** (see :mod:`repro.dist.resilience`):
+
+* a point that raises yields a structured failure record, not a dead sweep
+  — the worker isolates exceptions per point;
+* failed points retry with bounded deterministic backoff
+  (:class:`RetryPolicy`), and are **quarantined** after exhausting the
+  budget: the sweep completes, and the quarantined points appear in
+  ``run.provenance["failures"]``;
+* per-point wall-clock budgets (``RetryPolicy.timeout_seconds``) catch
+  stalled workers: the pool is restarted and the overdue points retried;
+* a dead worker (crash, OOM kill) breaks the pool; the executor restarts it
+  and resubmits every in-flight point without charging their retry budgets;
+* when the pool keeps dying (``max_pool_restarts`` exceeded) the executor
+  degrades gracefully to in-process serial execution of the remaining
+  points;
+* SIGINT/SIGTERM trigger a clean shutdown: ready results are flushed to
+  their checkpoints, the pool is terminated, stale temp files are swept,
+  and :class:`SweepInterrupted` reports how to resume.
+
 Checkpoints (optional) are written by the parent as points complete, so an
 interrupted sweep resumes where it stopped; sharded runs
 (:func:`~repro.dist.partition.select_indices`) execute a deterministic
 subset of the grid, and :func:`merge_runs` reassembles shard outputs into
-the one full-grid run.
+the one full-grid run.  Deterministic fault injection for all of the above
+lives in :mod:`repro.faultinject` (``run_spec(fault_plan=...)``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.errors import ConfigurationError
 from ..core.metrics import RunResult
+from ..faultinject.plan import FaultInjector, FaultPlan
 from ..spec.run import PointRun, ScenarioRun
 from ..spec.scenario import ScenarioSpec
 from .checkpoint import CheckpointStore, PathLike
 from .partition import ExpandedPoint, ShardLike, expand_points, parse_shard, select_indices
 from .progress import PointProgress, ProgressCallback
+from .resilience import (
+    PointFailure,
+    RetryPolicy,
+    SweepInterrupted,
+    WorkerPoolError,
+    backoff_delay,
+    record_failure_event,
+)
 
 __all__ = ["ParallelScenarioExecutor", "merge_runs"]
 
 
-#: Wire format of one task: (index, values, label, single-point spec dict).
+#: Wire format of one *queued* task: (index, values, label, single-point
+#: spec dict).  At submit time a 1-based dispatch count is appended (the
+#: fault-injection hook and failure records key off it).
 _Task = Tuple[int, Dict[str, object], str, Dict[str, object]]
 
 #: Tasks are dispatched to the pool in *graph groups*: every task in a group
@@ -60,9 +105,15 @@ _Task = Tuple[int, Dict[str, object], str, Dict[str, object]]
 #: an identical graph.
 _TaskGroup = List[_Task]
 
-#: Per-worker-process runner, created once by the pool initializer so graph
-#: caches persist across the tasks a worker executes.
+#: Per-worker-process runner and fault injector, created once by the pool
+#: initializer so graph caches (and injector point counters) persist across
+#: the tasks a worker executes.
 _WORKER_RUNNER = None
+_WORKER_INJECTOR: Optional[FaultInjector] = None
+
+#: Upper bound on one event-loop wait, so interrupts and backoff promotions
+#: are noticed promptly even while every worker is busy.
+_POLL_SECONDS = 0.2
 
 
 def _build_runner(runner_kwargs: Dict[str, object]):
@@ -71,15 +122,27 @@ def _build_runner(runner_kwargs: Dict[str, object]):
     return ExperimentRunner(**runner_kwargs)
 
 
-def _init_worker(runner_kwargs: Dict[str, object]) -> None:
-    global _WORKER_RUNNER
+def _init_worker(
+    runner_kwargs: Dict[str, object],
+    fault_plan_dict: Optional[Dict[str, object]] = None,
+) -> None:
+    global _WORKER_RUNNER, _WORKER_INJECTOR
     _WORKER_RUNNER = _build_runner(runner_kwargs)
+    _WORKER_INJECTOR = (
+        FaultInjector(fault_plan_dict, mode="worker")
+        if fault_plan_dict is not None
+        else None
+    )
 
 
-def _execute_task(runner, task: _Task) -> Dict[str, object]:
+def _execute_task(
+    runner, task, injector: Optional[FaultInjector] = None
+) -> Dict[str, object]:
     """Run one grid point and return its checkpoint/wire payload."""
-    index, values, label, spec_dict = task
+    index, values, label, spec_dict, dispatch = task
     started = time.perf_counter()
+    if injector is not None:
+        injector.before_point(index, dispatch)
     point = ExpandedPoint(
         index=index,
         values=values,
@@ -98,12 +161,31 @@ def _execute_task(runner, task: _Task) -> Dict[str, object]:
     }
 
 
-def _run_group_in_worker(group: _TaskGroup) -> Dict[str, object]:
-    """Run one graph group and report the payloads plus graph-build count."""
+def _run_group_in_worker(group: List[tuple]) -> Dict[str, object]:
+    """Run one graph group; report payloads, per-point failures, and builds.
+
+    Exceptions are isolated **per point**: a failing point becomes a
+    structured failure record and its siblings still execute, so one bad
+    grid point can never take a whole batch (or the sweep) down with it.
+    """
     builds_before = _WORKER_RUNNER.graph_builds
-    payloads = [_execute_task(_WORKER_RUNNER, task) for task in group]
+    payloads: List[Dict[str, object]] = []
+    failures: List[Dict[str, object]] = []
+    for task in group:
+        try:
+            payloads.append(_execute_task(_WORKER_RUNNER, task, _WORKER_INJECTOR))
+        except Exception as error:  # noqa: BLE001 - the isolation boundary
+            failures.append(
+                {
+                    "index": int(task[0]),
+                    "label": str(task[2]),
+                    "error_type": type(error).__name__,
+                    "message": str(error),
+                }
+            )
     return {
         "payloads": payloads,
+        "failures": failures,
         "graph_builds": _WORKER_RUNNER.graph_builds - builds_before,
     }
 
@@ -164,6 +246,52 @@ def _point_run_from_payload(payload: Dict[str, object]) -> PointRun:
     )
 
 
+def _hard_shutdown(executor) -> None:
+    """Tear a (possibly broken or stalled) process pool down without waiting.
+
+    ``shutdown(wait=False)`` alone leaves a stalled worker burning CPU on
+    its current task, so the worker processes are terminated explicitly;
+    the private ``_processes`` attribute is stable across supported CPython
+    versions and guarded anyway.
+    """
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    processes = getattr(executor, "_processes", None)
+    for process in list((processes or {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            continue
+    for process in list((processes or {}).values()):
+        try:
+            process.join(timeout=1.0)
+        except Exception:  # pragma: no cover - defensive
+            continue
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping shared by the execution paths of one sweep."""
+
+    total: int = 0  # full grid size (progress denominators)
+    total_selected: int = 0  # points selected for this run
+    completed: int = 0  # resumed + freshly completed points
+    graph_builds: int = 0
+    retries_total: int = 0  # failed attempts that were retried
+    pool_restarts: int = 0
+    serial_fallback: bool = False
+    failure_counts: Dict[int, int] = field(default_factory=dict)
+    dispatch_counts: Dict[int, int] = field(default_factory=dict)
+    errors: Dict[int, List[Dict[str, object]]] = field(default_factory=dict)
+    quarantined: Dict[int, PointFailure] = field(default_factory=dict)
+
+    def next_dispatch(self, index: int) -> int:
+        self.dispatch_counts[index] = self.dispatch_counts.get(index, 0) + 1
+        return self.dispatch_counts[index]
+
+
 @dataclass
 class ParallelScenarioExecutor:
     """Shard a scenario grid across worker processes and merge the results.
@@ -186,6 +314,14 @@ class ParallelScenarioExecutor:
     mp_context:
         :func:`multiprocessing.get_context` method name (``"fork"``,
         ``"spawn"``, ...); ``None`` uses the platform default.
+    retry:
+        Recovery semantics (:class:`~repro.dist.resilience.RetryPolicy`):
+        per-point retry budget and backoff, per-point timeout, pool-restart
+        budget, serial fallback.  The defaults tolerate transient faults
+        without changing the failure-free hot path.
+    fault_plan:
+        Deterministic fault injection (:class:`repro.faultinject.FaultPlan`)
+        — test machinery; ``None`` (the default) injects nothing.
     """
 
     workers: int = 1
@@ -193,6 +329,8 @@ class ParallelScenarioExecutor:
     resume: bool = False
     progress: Optional[ProgressCallback] = None
     mp_context: Optional[str] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or self.workers < 1:
@@ -201,8 +339,9 @@ class ParallelScenarioExecutor:
             )
         if self.resume and self.checkpoint_dir is None:
             raise ConfigurationError(
-                "resume=True requires a checkpoint directory"
+                "resume=True requires a checkpoint directory (checkpoint_dir)"
             )
+        self._interrupt_requested = False
 
     def run(
         self,
@@ -214,7 +353,10 @@ class ParallelScenarioExecutor:
 
         Returns a :class:`ScenarioRun` whose points are in grid order
         regardless of completion order; ``run.provenance`` records the
-        worker count, shard layout, resume statistics, and wall-clock.
+        worker count, shard layout, resume statistics, wall-clock, and the
+        recovery ledger (retries, pool restarts, quarantined points under
+        ``"failures"``).  Raises :class:`SweepInterrupted` on SIGINT /
+        SIGTERM after flushing completed checkpoints.
         """
         started = time.perf_counter()
         all_points = expand_points(spec)
@@ -223,20 +365,22 @@ class ParallelScenarioExecutor:
         selected = [all_points[i] for i in indices]
 
         store: Optional[CheckpointStore] = None
-        completed: Dict[int, Dict[str, object]] = {}
+        completed_payloads: Dict[int, Dict[str, object]] = {}
         if self.checkpoint_dir is not None:
             store = CheckpointStore(self.checkpoint_dir, spec)
             if self.resume:
-                completed = store.load()
+                completed_payloads = store.load()
 
+        state = _RunState(total=total, total_selected=len(selected))
         point_runs: Dict[int, PointRun] = {}
         resumed = 0
         for point in selected:
-            payload = completed.get(point.index)
+            payload = completed_payloads.get(point.index)
             if payload is None:
                 continue
             point_runs[point.index] = _point_run_from_payload(payload)
             resumed += 1
+            state.completed += 1
             self._emit(point.index, total, point.label, 0.0, source="checkpoint")
 
         from ..experiments.runner import ExperimentRunner
@@ -252,19 +396,48 @@ class ParallelScenarioExecutor:
             "engine": spec.engine,
             "batch": spec.batch,
         }
-        graph_builds = 0
-        for group_result in self._execute(groups, runner_kwargs):
-            graph_builds += int(group_result["graph_builds"])
-            for payload in group_result["payloads"]:
-                if store is not None:
-                    store.save(payload)
-                point_runs[int(payload["index"])] = _point_run_from_payload(payload)
-                self._emit(
-                    int(payload["index"]),
-                    total,
-                    payload["label"],
-                    float(payload["elapsed_seconds"]),
-                )
+
+        parent_injector = (
+            FaultInjector(self.fault_plan, mode="inline")
+            if self.fault_plan is not None
+            else None
+        )
+
+        def handle_payload(payload: Dict[str, object]) -> None:
+            index = int(payload["index"])
+            if store is not None:
+                path = store.save(payload)
+                if parent_injector is not None:
+                    # Deliberately torn write: this run's in-memory result is
+                    # intact; a later resume quarantines the file and re-runs
+                    # the point (asserted in the chaos suite).
+                    parent_injector.corrupt_checkpoint(index, path)
+            point_runs[index] = _point_run_from_payload(payload)
+            state.completed += 1
+            self._emit(
+                index,
+                total,
+                payload["label"],
+                float(payload["elapsed_seconds"]),
+                attempt=state.failure_counts.get(index, 0) + 1,
+            )
+            if parent_injector is not None and parent_injector.wants_interrupt(index):
+                self._interrupt_requested = True
+
+        self._interrupt_requested = False
+        previous_handlers = self._install_signal_handlers()
+        try:
+            if groups:
+                if self.workers == 1:
+                    self._run_inline(groups, runner_kwargs, state, handle_payload)
+                else:
+                    self._run_pool(groups, runner_kwargs, state, handle_payload)
+        except SweepInterrupted:
+            if store is not None:
+                store.discard_stale_temps()
+            raise
+        finally:
+            self._restore_signal_handlers(previous_handlers)
 
         run = ScenarioRun(
             spec=spec,
@@ -275,16 +448,29 @@ class ParallelScenarioExecutor:
             "shard": list(parse_shard(shard)) if shard is not None else None,
             "points_total": total,
             "points_selected": len(selected),
-            "points_run": len(pending),
+            "points_run": len(pending) - len(state.quarantined),
             "points_resumed": resumed,
+            "points_quarantined": len(state.quarantined),
             # Distinct graphs among the executed points vs. graphs actually
             # constructed across the pool: equal means the graph-first
             # grouping primed every worker cache perfectly (no sibling
             # rebuilt a graph another worker already built); builds may
             # exceed it when a large same-graph group was split across
-            # workers to keep the pool busy.
+            # workers to keep the pool busy, or when retries and pool
+            # restarts rebuilt caches.
             "graphs_distinct": graphs_distinct,
-            "graph_builds": graph_builds,
+            "graph_builds": state.graph_builds,
+            # Recovery ledger: how hard the sweep had to fight to complete.
+            "retries": state.retries_total,
+            "pool_restarts": state.pool_restarts,
+            "serial_fallback": state.serial_fallback,
+            "failures": [
+                state.quarantined[index].to_dict()
+                for index in sorted(state.quarantined)
+            ],
+            "fault_plan": (
+                self.fault_plan.to_dict() if self.fault_plan is not None else None
+            ),
             "wall_clock_seconds": round(time.perf_counter() - started, 6),
             "checkpoint_dir": (
                 str(self.checkpoint_dir) if self.checkpoint_dir is not None else None
@@ -295,7 +481,13 @@ class ParallelScenarioExecutor:
     # -- internals --------------------------------------------------------------
 
     def _emit(
-        self, index: int, total: int, label: str, elapsed: float, source: str = "run"
+        self,
+        index: int,
+        total: int,
+        label: str,
+        elapsed: float,
+        source: str = "run",
+        attempt: int = 1,
     ) -> None:
         if self.progress is not None:
             self.progress(
@@ -305,46 +497,347 @@ class ParallelScenarioExecutor:
                     label=label,
                     elapsed_seconds=elapsed,
                     source=source,
+                    attempt=attempt,
                 )
             )
 
-    def _execute(
-        self, groups: List[_TaskGroup], runner_kwargs: Dict[str, object]
-    ) -> Iterable[Dict[str, object]]:
-        if not groups:
+    def _install_signal_handlers(self):
+        """Route SIGINT/SIGTERM to the clean-shutdown flag (main thread only)."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        previous = {}
+
+        def request_interrupt(signum, frame):  # noqa: ARG001 - signal signature
+            self._interrupt_requested = True
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, request_interrupt)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                continue
+        return previous
+
+    def _restore_signal_handlers(self, previous) -> None:
+        if not previous:
             return
-        if self.workers == 1:
-            runner = _build_runner(runner_kwargs)
-            for group in groups:
-                builds_before = runner.graph_builds
-                payloads = [_execute_task(runner, task) for task in group]
-                yield {
-                    "payloads": payloads,
-                    "graph_builds": runner.graph_builds - builds_before,
-                }
-            return
-        context = multiprocessing.get_context(self.mp_context)
-        pool = context.Pool(
-            processes=min(self.workers, len(groups)),
-            initializer=_init_worker,
-            initargs=(runner_kwargs,),
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                continue
+
+    def _interrupted(self, state: _RunState) -> SweepInterrupted:
+        return SweepInterrupted(
+            completed=state.completed,
+            total=state.total_selected,
+            checkpoint_dir=(
+                str(self.checkpoint_dir) if self.checkpoint_dir is not None else None
+            ),
         )
+
+    def _record_failure(
+        self,
+        state: _RunState,
+        index: int,
+        label: str,
+        error_type: str,
+        message: str,
+    ) -> bool:
+        """Log one failed attempt; return True if the point is now quarantined."""
+        attempt = state.failure_counts.get(index, 0) + 1
+        state.failure_counts[index] = attempt
+        record_failure_event(state.errors, index, attempt, error_type, message)
+        if attempt >= self.retry.max_attempts:
+            state.quarantined[index] = PointFailure(
+                index=index,
+                label=label,
+                attempts=attempt,
+                error_type=error_type,
+                message=message,
+                errors=tuple(state.errors[index]),
+            )
+            self._emit(
+                index, state.total, label, 0.0, source="quarantined", attempt=attempt
+            )
+            return True
+        state.retries_total += 1
+        return False
+
+    # -- in-process path ---------------------------------------------------------
+
+    def _run_inline(
+        self,
+        groups: Sequence[_TaskGroup],
+        runner_kwargs: Dict[str, object],
+        state: _RunState,
+        handle_payload,
+    ) -> None:
+        """Serial execution with the same recovery semantics as the pool.
+
+        Used for ``workers=1`` and as the graceful-degradation fallback when
+        the pool keeps dying.  Kill/stall fault rules are skipped here (the
+        injector runs in ``"inline"`` mode — there is no worker process to
+        lose), and per-point timeouts cannot preempt an in-process point.
+        """
+        runner = _build_runner(runner_kwargs)
+        injector = (
+            FaultInjector(self.fault_plan, mode="inline")
+            if self.fault_plan is not None
+            else None
+        )
+        queue: Deque[_Task] = deque(task for group in groups for task in group)
+        while queue:
+            if self._interrupt_requested:
+                raise self._interrupted(state)
+            task = queue.popleft()
+            index, _, label, _ = task
+            dispatch = state.next_dispatch(index)
+            builds_before = runner.graph_builds
+            try:
+                payload = _execute_task(runner, (*task, dispatch), injector)
+            except Exception as error:  # noqa: BLE001 - the isolation boundary
+                state.graph_builds += runner.graph_builds - builds_before
+                if not self._record_failure(
+                    state, index, label, type(error).__name__, str(error)
+                ):
+                    time.sleep(
+                        backoff_delay(self.retry, state.failure_counts[index])
+                    )
+                    queue.appendleft(task)
+                continue
+            state.graph_builds += runner.graph_builds - builds_before
+            handle_payload(payload)
+        if self._interrupt_requested:
+            # The signal landed while the final point was executing; report
+            # the interruption even though nothing was left to cancel.
+            raise self._interrupted(state)
+
+    # -- pool path ---------------------------------------------------------------
+
+    def _new_pool(self, context, runner_kwargs: Dict[str, object], size: int):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=size,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(
+                runner_kwargs,
+                self.fault_plan.to_dict() if self.fault_plan is not None else None,
+            ),
+        )
+
+    def _run_pool(
+        self,
+        groups: Sequence[_TaskGroup],
+        runner_kwargs: Dict[str, object],
+        state: _RunState,
+        handle_payload,
+    ) -> None:
+        """The resilient event loop: submit, collect, retry, restart, degrade."""
+        from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
+
+        context = multiprocessing.get_context(self.mp_context)
+        pool_size = min(self.workers, max(1, len(groups)))
+        executor = self._new_pool(context, runner_kwargs, pool_size)
+        pending: Deque[_TaskGroup] = deque(groups)
+        delayed: List[Tuple[float, _TaskGroup]] = []  # (ready_at, group)
+        in_flight: Dict[object, Tuple[_TaskGroup, Optional[float]]] = {}
+
+        def remaining_groups() -> List[_TaskGroup]:
+            groups_left = [group for group, _ in in_flight.values()]
+            groups_left.extend(pending)
+            groups_left.extend(group for _, group in delayed)
+            in_flight.clear()
+            pending.clear()
+            delayed.clear()
+            return groups_left
+
+        def restart_pool() -> bool:
+            """Tear the pool down and build a fresh one; False = budget spent."""
+            nonlocal executor
+            state.pool_restarts += 1
+            _hard_shutdown(executor)
+            if state.pool_restarts > self.retry.max_pool_restarts:
+                return False
+            executor = self._new_pool(context, runner_kwargs, pool_size)
+            return True
+
+        def fall_back_serial() -> None:
+            state.serial_fallback = True
+            self._run_inline(remaining_groups(), runner_kwargs, state, handle_payload)
+
+        def schedule_retry(task: _Task) -> None:
+            delay = backoff_delay(self.retry, state.failure_counts[task[0]])
+            delayed.append((time.monotonic() + delay, [task]))
+
+        def collect(future, group: _TaskGroup) -> bool:
+            """Process one finished future; returns True if the pool broke."""
+            try:
+                result = future.result()
+            except BrokenExecutor:
+                pending.appendleft(group)  # resubmission, not a retry
+                return True
+            except Exception as error:  # noqa: BLE001 - pool infrastructure
+                # The whole batch failed outside the per-point isolation
+                # boundary (e.g. result transport): charge every point one
+                # attempt and retry the survivors individually.
+                for task in group:
+                    if not self._record_failure(
+                        state, task[0], task[2], type(error).__name__, str(error)
+                    ):
+                        schedule_retry(task)
+                return False
+            state.graph_builds += int(result["graph_builds"])
+            for payload in result["payloads"]:
+                handle_payload(payload)
+            for failure in result["failures"]:
+                index = int(failure["index"])
+                if not self._record_failure(
+                    state,
+                    index,
+                    str(failure["label"]),
+                    str(failure["error_type"]),
+                    str(failure["message"]),
+                ):
+                    task = next(t for t in group if t[0] == index)
+                    schedule_retry(task)
+            return False
+
         try:
-            # chunksize=1 so a slow graph group does not pin fast ones behind
-            # it; completion order is nondeterministic, merging is by index.
-            yield from pool.imap_unordered(_run_group_in_worker, groups, chunksize=1)
+            while pending or delayed or in_flight:
+                if self._interrupt_requested:
+                    # Flush whatever already finished so completed points
+                    # reach their checkpoints before the pool dies.
+                    for future in [f for f in list(in_flight) if f.done()]:
+                        group, _ = in_flight.pop(future)
+                        collect(future, group)
+                    raise self._interrupted(state)
+
+                now = time.monotonic()
+                if delayed:  # promote retries whose backoff elapsed
+                    ready = [group for at, group in delayed if at <= now]
+                    if ready:
+                        delayed = [(at, g) for at, g in delayed if at > now]
+                        pending.extend(ready)
+
+                broken = False
+                while pending and len(in_flight) < pool_size:
+                    group = pending.popleft()
+                    stamped = [
+                        (*task, state.next_dispatch(task[0])) for task in group
+                    ]
+                    try:
+                        future = executor.submit(_run_group_in_worker, stamped)
+                    except (BrokenExecutor, RuntimeError):
+                        pending.appendleft(group)
+                        broken = True
+                        break
+                    deadline = (
+                        time.monotonic()
+                        + self.retry.timeout_seconds * len(group)
+                        if self.retry.timeout_seconds is not None
+                        else None
+                    )
+                    # In-flight never exceeds the worker count, so every
+                    # submitted group starts immediately and its deadline
+                    # measures actual execution time.
+                    in_flight[future] = (group, deadline)
+
+                if not broken:
+                    if not in_flight:
+                        if delayed:  # only backoff waits remain
+                            wake = min(at for at, _ in delayed) - time.monotonic()
+                            time.sleep(max(0.0, min(wake, _POLL_SECONDS)))
+                        continue
+                    wait_timeout = _POLL_SECONDS
+                    now = time.monotonic()
+                    for _, deadline in in_flight.values():
+                        if deadline is not None:
+                            wait_timeout = min(
+                                wait_timeout, max(0.0, deadline - now)
+                            )
+                    done, _ = wait(
+                        list(in_flight),
+                        timeout=wait_timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        group, _ = in_flight.pop(future)
+                        broken = collect(future, group) or broken
+
+                if broken:
+                    # A worker died abruptly: every in-flight batch is lost.
+                    # Resubmit them all without touching their retry budgets
+                    # — the victim cannot be attributed, and innocents must
+                    # not drift toward quarantine.
+                    for group, _ in in_flight.values():
+                        pending.appendleft(group)
+                    in_flight.clear()
+                    if not restart_pool():
+                        if not self.retry.serial_fallback:
+                            raise WorkerPoolError(
+                                f"worker pool died {state.pool_restarts} times "
+                                f"(budget {self.retry.max_pool_restarts}) and "
+                                "serial fallback is disabled"
+                            )
+                        fall_back_serial()
+                        return
+                    continue
+
+                now = time.monotonic()
+                stalled = [
+                    future
+                    for future, (_, deadline) in in_flight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if stalled:
+                    # A pool cannot cancel one running task, so a stall costs
+                    # a pool restart: the overdue points are charged one
+                    # failed attempt, everything else in flight resubmits
+                    # penalty-free.
+                    for future in stalled:
+                        group, _ = in_flight.pop(future)
+                        for task in group:
+                            if not self._record_failure(
+                                state,
+                                task[0],
+                                task[2],
+                                "PointTimeout",
+                                f"exceeded the per-point wall-clock budget of "
+                                f"{self.retry.timeout_seconds}s",
+                            ):
+                                schedule_retry(task)
+                    for group, _ in in_flight.values():
+                        pending.appendleft(group)
+                    in_flight.clear()
+                    if not restart_pool():
+                        if not self.retry.serial_fallback:
+                            raise WorkerPoolError(
+                                f"worker pool was restarted {state.pool_restarts} "
+                                f"times (budget {self.retry.max_pool_restarts}) "
+                                "and serial fallback is disabled"
+                            )
+                        fall_back_serial()
+                        return
+            if self._interrupt_requested:
+                # The signal landed while the final results were draining;
+                # everything already flushed, but the interruption is real.
+                raise self._interrupted(state)
         finally:
-            pool.terminate()
-            pool.join()
+            _hard_shutdown(executor)
 
 
 def merge_runs(runs: Sequence[ScenarioRun]) -> ScenarioRun:
     """Reassemble shard outputs into the one full-grid :class:`ScenarioRun`.
 
     All runs must come from the *same* scenario; together they must cover
-    every grid point exactly once (the partition invariant).  The merged
-    result is independent of the order the shards are given in — points are
-    keyed by grid index — and bit-identical to a serial ``run_spec``.
+    every grid point exactly once (the partition invariant) — except points
+    a shard explicitly **quarantined** (``provenance["failures"]``), which
+    are carried over into the merged provenance instead of failing the
+    merge.  The merged result is independent of the order the shards are
+    given in — points are keyed by grid index — and bit-identical to a
+    serial ``run_spec``.
     """
     if not runs:
         raise ConfigurationError("merge_runs needs at least one ScenarioRun")
@@ -365,8 +858,12 @@ def merge_runs(runs: Sequence[ScenarioRun]) -> ScenarioRun:
                     "shards must be disjoint"
                 )
             merged[point.index] = point
+    failures: Dict[int, Dict[str, object]] = {}
+    for run in runs:
+        for failure in (run.provenance or {}).get("failures") or []:
+            failures[int(failure["index"])] = dict(failure)
     expected = spec.sweep.size if spec.sweep is not None else 1
-    missing = sorted(set(range(expected)) - set(merged))
+    missing = sorted(set(range(expected)) - set(merged) - set(failures))
     if missing:
         raise ConfigurationError(
             f"merged shards do not cover the full grid; missing point "
@@ -384,6 +881,7 @@ def merge_runs(runs: Sequence[ScenarioRun]) -> ScenarioRun:
         ),
         "shards": [p.get("shard") for p in shards] or None,
         "points_total": expected,
+        "failures": [failures[index] for index in sorted(failures)],
         "wall_clock_seconds": round(
             sum(float(p.get("wall_clock_seconds", 0.0)) for p in shards), 6
         ),

@@ -45,7 +45,12 @@ class PointProgress:
         restored from a checkpoint.
     source:
         ``"run"`` for freshly executed points, ``"checkpoint"`` for points
-        skipped because a resume found their checkpoint file.
+        skipped because a resume found their checkpoint file, and
+        ``"quarantined"`` for points the resilience layer gave up on after
+        exhausting their retry budget (the sweep continues without them).
+    attempt:
+        Which execution attempt produced this event (1 = first try; > 1
+        means the resilience layer retried the point after failures).
     """
 
     index: int
@@ -53,6 +58,7 @@ class PointProgress:
     label: str
     elapsed_seconds: float
     source: str = "run"
+    attempt: int = 1
 
 
 #: Signature of a progress consumer.
@@ -60,10 +66,16 @@ ProgressCallback = Callable[[PointProgress], None]
 
 
 def _format(progress: PointProgress) -> str:
+    if progress.source == "quarantined":
+        return (
+            f"point {progress.index + 1}/{progress.total} {progress.label} "
+            f"quarantined after {progress.attempt} failed attempt(s)"
+        )
     origin = " (checkpoint)" if progress.source == "checkpoint" else ""
+    retried = f" (attempt {progress.attempt})" if progress.attempt > 1 else ""
     return (
         f"point {progress.index + 1}/{progress.total} {progress.label} "
-        f"done in {progress.elapsed_seconds:.3f}s{origin}"
+        f"done in {progress.elapsed_seconds:.3f}s{origin}{retried}"
     )
 
 

@@ -144,6 +144,21 @@ class ExperimentRunner:
             SimulationConfig(engine=self.engine) if self.engine != "auto" else None
         )
 
+    @classmethod
+    def from_spec(cls, spec: "ScenarioSpec") -> "ExperimentRunner":
+        """A runner configured exactly as ``spec``'s seed/engine knobs demand.
+
+        The single construction path shared by ``run_spec``'s serial fast
+        path, the distributed executor's workers, and the CLI — so the four
+        call sites cannot drift apart in which knobs they forward.
+        """
+        return cls(
+            master_seed=spec.master_seed,
+            repetitions=spec.repetitions,
+            engine=spec.engine,
+            batch=spec.batch,
+        )
+
     # -- graphs ---------------------------------------------------------------------
 
     def regular_graph(self, n: int, d: int, instance: int = 0) -> Graph:

@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the sweep harness.
+
+``repro.faultinject`` proves the resilience layer of :mod:`repro.dist`: a
+:class:`FaultPlan` describes — as plain, seed-derivable, JSON-serialisable
+data — exactly which faults strike which grid points (transient exceptions,
+worker kills, timeout stalls, torn checkpoint writes, interrupts), and the
+executor replays it deterministically via ``run_spec(fault_plan=...)`` or
+the CLI's hidden ``run-spec --fault-plan`` flag.
+
+The cardinal invariant, asserted by the chaos suite
+(``tests/test_faultinject.py``) and CI's
+``benchmarks/check_parallel_parity.py --chaos``: a sweep that survives an
+injected fault plan is **bit-identical, down to per-round history, to the
+clean serial run** — recovery re-executes points, and the
+seed = f(master, label) discipline makes re-execution invisible.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedTransientError,
+    bundled_plans,
+    load_plan,
+    save_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedTransientError",
+    "bundled_plans",
+    "load_plan",
+    "save_plan",
+]

@@ -26,7 +26,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments use spec
     from ..dist.checkpoint import PathLike
     from ..dist.partition import ShardLike
     from ..dist.progress import ProgressCallback
+    from ..dist.resilience import RetryPolicy
     from ..experiments.tables import Table
+    from ..faultinject.plan import FaultPlan
 
 __all__ = ["PointRun", "ScenarioRun", "run_spec"]
 
@@ -120,6 +122,13 @@ class ScenarioRun:
             f"{self.spec.repetitions} repetition(s) per point, "
             f"engine: {', '.join(sorted(engines))}"
         )
+        failures = self.provenance.get("failures") or []
+        if failures:
+            labels = ", ".join(str(f.get("label", f.get("index"))) for f in failures)
+            table.add_note(
+                f"{len(failures)} point(s) quarantined after repeated "
+                f"failures and excluded from this table: {labels}"
+            )
         table.metadata["spec"] = self.spec.to_dict()
         if self.provenance:
             table.metadata["distributed"] = dict(self.provenance)
@@ -135,6 +144,8 @@ def run_spec(
     checkpoint_dir: Optional["PathLike"] = None,
     resume: bool = False,
     progress: Optional["ProgressCallback"] = None,
+    retry: Optional["RetryPolicy"] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> ScenarioRun:
     """Execute ``spec`` and return one :class:`PointRun` per grid point.
 
@@ -156,6 +167,12 @@ def run_spec(
       completed point / skip points already checkpointed there.
     * ``progress`` — per-point completion callback
       (:class:`repro.dist.PointProgress`), honoured by both paths.
+    * ``retry`` — recovery semantics (:class:`repro.dist.RetryPolicy`):
+      per-point retry budget/backoff/timeout, quarantine, pool-restart
+      budget, serial fallback.  Passing one routes the run through the
+      resilient executor even without ``workers``.
+    * ``fault_plan`` — deterministic fault injection
+      (:class:`repro.faultinject.FaultPlan`); test machinery.
     """
     from ..experiments.runner import ExperimentRunner
 
@@ -165,21 +182,20 @@ def run_spec(
         and points is None
         and checkpoint_dir is None
         and not resume
+        and retry is None
+        and fault_plan is None
     ):
-        runner = ExperimentRunner(
-            master_seed=spec.master_seed,
-            repetitions=spec.repetitions,
-            engine=spec.engine,
-            batch=spec.batch,
-        )
-        return runner.run_scenario(spec, progress=progress)
+        return ExperimentRunner.from_spec(spec).run_scenario(spec, progress=progress)
 
     from ..dist.executor import ParallelScenarioExecutor
+    from ..dist.resilience import RetryPolicy
 
     executor = ParallelScenarioExecutor(
         workers=workers if workers is not None else 1,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         progress=progress,
+        retry=retry if retry is not None else RetryPolicy(),
+        fault_plan=fault_plan,
     )
     return executor.run(spec, shard=shard, points=points)

@@ -1,0 +1,223 @@
+"""Edge-case coverage for the failure models.
+
+Two boundary regions that the standard sweeps never visit:
+
+* :class:`IndependentLoss` at its extremes ``p = 0.0`` (must be exactly the
+  reliable-delivery run, engine-independently) and ``p = 1.0`` (no copy ever
+  arrives: the informed set stays ``{source}`` forever and the broadcast
+  fails), with scalar-vs-vectorized history parity at both ends;
+* :class:`UniformChurn` on singleton and near-empty graphs, where the
+  splice-based join and the protected source leave almost no room to act.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.node import StateTable
+from repro.core.rng import RandomSource
+from repro.failures.churn import UniformChurn
+from repro.failures.message_loss import IndependentLoss, ReliableDelivery
+from repro.graphs.base import Graph
+from repro.spec import (
+    FailureSpec,
+    GraphSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    run_spec,
+)
+
+
+def loss_spec(p: float, engine: str = "auto", protocol: str = "push") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"loss-edge-{protocol}-{p}",
+        graph=GraphSpec(family="connected-random-regular", params={"n": 64, "d": 6}),
+        protocol=ProtocolSpec(name=protocol),
+        failure=FailureSpec(
+            model="independent-loss",
+            params={"transmission_loss_probability": p},
+        ),
+        repetitions=3,
+        master_seed=11,
+        engine=engine,
+        label=f"loss-edge-{protocol}",
+        config={"max_rounds": 40},
+    )
+
+
+def histories(run):
+    return [result.history for result in run.results()]
+
+
+class TestIndependentLossExtremes:
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("protocol", ["push", "pull", "push-pull"])
+    def test_p_zero_matches_reliable_delivery(self, protocol, engine):
+        # p=0 must not merely "mostly work": bernoulli(0.0) consumes no
+        # entropy, so on EITHER engine the run is bit-identical — down to
+        # per-round history — to no failure model at all.
+        lossless = run_spec(loss_spec(0.0, engine=engine, protocol=protocol))
+        reliable = run_spec(
+            ScenarioSpec(
+                name="reliable",
+                graph=GraphSpec(
+                    family="connected-random-regular", params={"n": 64, "d": 6}
+                ),
+                protocol=ProtocolSpec(name=protocol),
+                repetitions=3,
+                master_seed=11,
+                engine=engine,
+                # Same label => same derived run seeds as the p=0 spec; only
+                # the failure model differs between the two runs.
+                label=f"loss-edge-{protocol}",
+                config={"max_rounds": 40},
+            )
+        )
+        assert histories(lossless) == histories(reliable)
+        assert all(result.success for result in lossless.results())
+
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("protocol", ["push", "pull", "push-pull"])
+    def test_p_one_nobody_learns_anything(self, protocol, engine):
+        run = run_spec(loss_spec(1.0, engine=engine, protocol=protocol))
+        for result in run.results():
+            assert result.success is False
+            # The informed set never grows past the source.
+            assert all(row.informed_after == 1 for row in result.history)
+
+    @pytest.mark.parametrize("protocol", ["push", "pull", "push-pull"])
+    def test_p_one_engines_agree_on_the_forced_trajectory(self, protocol):
+        # The engines promise aggregate semantics, not shared draw order —
+        # but at p=1 the trajectory is forced (nothing ever arrives), so
+        # their informed evolutions must coincide exactly: pinned at the
+        # source for the full max_rounds budget.
+        scalar = run_spec(loss_spec(1.0, engine="scalar", protocol=protocol))
+        vectorized = run_spec(loss_spec(1.0, engine="vectorized", protocol=protocol))
+        trajectory = lambda run: [  # noqa: E731
+            [row.informed_after for row in result.history] for result in run.results()
+        ]
+        assert trajectory(scalar) == trajectory(vectorized)
+        # Pinned at the source for however long the protocol keeps trying
+        # (protocols may give up before the max_rounds config cap).
+        for informed in trajectory(scalar):
+            assert informed and set(informed) == {1}
+
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    def test_informed_counts_monotone_for_any_loss(self, engine):
+        # Losing copies can slow the broadcast but never un-inform a node.
+        for p in (0.0, 0.5, 1.0):
+            for result in run_spec(loss_spec(p, engine=engine)).results():
+                informed = [row.informed_after for row in result.history]
+                assert informed == sorted(informed)
+
+    def test_model_consumes_no_entropy_at_the_extremes(self):
+        rng = RandomSource(seed=3)
+        before = rng.randint(0, 2**31)
+        rng_a = RandomSource(seed=3)
+        total = IndependentLoss(transmission_loss_probability=1.0)
+        none = IndependentLoss(transmission_loss_probability=0.0)
+        assert total.transmission_lost(rng_a) is True
+        assert none.transmission_lost(rng_a) is False
+        assert total.channel_fails(rng_a) is False  # channel p defaults to 0
+        # All three calls consumed nothing: the stream is still aligned.
+        assert rng_a.randint(0, 2**31) == before
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ConfigurationError, match="transmission_loss"):
+            IndependentLoss(transmission_loss_probability=1.5)
+        with pytest.raises(ConfigurationError, match="channel_failure"):
+            IndependentLoss(channel_failure_probability=-0.1)
+
+    def test_reliable_delivery_is_the_null_model(self):
+        rng = RandomSource(seed=5)
+        model = ReliableDelivery()
+        assert model.channel_fails(rng) is False
+        assert model.transmission_lost(rng) is False
+
+
+class TestChurnOnTinyGraphs:
+    def _churn(self, **overrides):
+        defaults = dict(leave_rate=0.5, join_rate=0.5, target_degree=2)
+        defaults.update(overrides)
+        return UniformChurn(**defaults)
+
+    def test_singleton_graph_source_survives(self):
+        # One node that IS the source: protect_source must pin the network
+        # at size >= 1 no matter how aggressive the leave rate.
+        graph = Graph(range(1))
+        states = StateTable(n=1, source=0)
+        churn = self._churn(leave_rate=0.9, join_rate=0.0)
+        rng = RandomSource(seed=21)
+        for round_index in range(1, 20):
+            event = churn.apply(round_index, graph, states, rng)
+            assert event.departed == []  # the only candidate is protected
+            assert 0 in graph
+            assert states.contains(0)
+
+    def test_singleton_graph_joiners_attach(self):
+        # Joins on an edgeless graph cannot splice (no edges to split), but
+        # must still register the node consistently in graph and states.
+        graph = Graph(range(1))
+        states = StateTable(n=1, source=0)
+        churn = self._churn(leave_rate=0.0, join_rate=0.9)
+        rng = RandomSource(seed=22)
+        # ~1.9x growth per round compounds fast; 10 rounds is plenty.
+        for round_index in range(1, 10):
+            event = churn.apply(round_index, graph, states, rng)
+            for joiner in event.joined:
+                assert joiner in graph
+                assert states.contains(joiner)
+                assert not states[joiner].informed
+        assert len(graph) == len(states)
+
+    def test_two_node_graph_never_loses_the_source(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        states = StateTable(n=2, source=0)
+        churn = self._churn(leave_rate=0.99, join_rate=0.0)
+        rng = RandomSource(seed=23)
+        for round_index in range(1, 30):
+            churn.apply(round_index, graph, states, rng)
+        assert 0 in graph and states.contains(0)
+        assert len(graph) >= 1
+
+    def test_near_empty_graph_churn_is_consistent(self):
+        # Heavy leave + join churn starting from 3 nodes: graph and state
+        # table must stay in lockstep and the source must persist, even as
+        # the membership turns over almost completely.
+        graph = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        states = StateTable(n=3, source=1)
+        churn = self._churn(leave_rate=0.6, join_rate=0.6)
+        rng = RandomSource(seed=24)
+        for round_index in range(1, 50):
+            churn.apply(round_index, graph, states, rng)
+            assert sorted(graph.iter_nodes()) == sorted(
+                node.node_id for node in states
+            )
+            assert states.contains(states.source)
+        # Node ids are never recycled: joiners get fresh ids beyond the
+        # original range even after departures freed the low ones.
+        new_ids = [n for n in graph.iter_nodes() if n >= 3]
+        assert len(new_ids) == len(set(new_ids))
+
+    def test_churn_is_deterministic_in_the_seed(self):
+        def run_once():
+            graph = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+            states = StateTable(n=3, source=0)
+            churn = self._churn(leave_rate=0.4, join_rate=0.4)
+            rng = RandomSource(seed=25)
+            trace = []
+            for round_index in range(1, 30):
+                event = churn.apply(round_index, graph, states, rng)
+                trace.append((event.departed, event.joined))
+            return trace, sorted(graph.iter_nodes())
+
+        assert run_once() == run_once()
+
+    def test_churn_rate_validation(self):
+        with pytest.raises(ConfigurationError, match="leave_rate"):
+            self._churn(leave_rate=1.0)
+        with pytest.raises(ConfigurationError, match="join_rate"):
+            self._churn(join_rate=-0.1)
+        with pytest.raises(ConfigurationError, match="target_degree"):
+            self._churn(target_degree=1)
