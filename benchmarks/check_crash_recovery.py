@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""CI tripwire: a ``kill -9``'d streaming sweep must resume bit-identically.
+
+Two checks, both against the bundled E1 scenario:
+
+1. **Kill -9 survival** — a subprocess runs ``python -m repro run-spec
+   --stream-dir ... --fault-plan <kill-9 plan>`` and is SIGKILL'd by the
+   ``kill-after-records`` rule the instant the second record reaches the
+   sink.  The parent verifies the process actually died by signal, then
+   resumes the same stream directory and requires the merged table to be
+   identical to a serial run: same rows, columns, notes, and title.
+
+2. **O(segments) streamed merge** — a stream directory is filled with a
+   fixed number of interleaved sorted runs (segments) and consumed through
+   :func:`repro.dist.stream_payloads` while tracing peak allocations.
+   Growing the *point count* 10x while holding the *segment count* fixed
+   must not grow the merge's peak memory by more than ``--max-growth``
+   (default 3x): the merge holds one record per segment, never the grid.
+   The measured peaks are the ``streamed_merge_*`` baselines recorded in
+   ``BENCH_micro.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_crash_recovery.py \
+        [--spec examples/specs/e1_round_complexity.json] \
+        [--points 300] [--scale 10] [--segments 8] [--max-growth 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _memtrace import traced_peak_mb  # noqa: E402
+
+from repro.dist import StreamingResultSink, stream_payloads  # noqa: E402
+from repro.faultinject import bundled_stream_plans, save_plan  # noqa: E402
+from repro.spec import load_spec, run_spec  # noqa: E402
+
+DEFAULT_SPEC = REPO_ROOT / "examples" / "specs" / "e1_round_complexity.json"
+
+
+def check_kill9(spec_path: str, spec) -> int:
+    """SIGKILL a streaming CLI sweep mid-flight; resume must match serial."""
+    point_count = spec.sweep.size if spec.sweep else 1
+    serial_table = run_spec(spec).to_table()
+    with tempfile.TemporaryDirectory() as tmp:
+        stream_dir = Path(tmp) / "stream"
+        plan_path = save_plan(
+            bundled_stream_plans(point_count, include_kill=True)["kill-9"],
+            Path(tmp) / "kill9.json",
+        )
+        start = time.perf_counter()
+        victim = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "run-spec",
+                spec_path,
+                "--stream-dir",
+                str(stream_dir),
+                "--fault-plan",
+                str(plan_path),
+            ],
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        if victim.returncode != -signal.SIGKILL:
+            print(
+                f"KILL9 FAILURE: victim exited {victim.returncode}, expected "
+                f"-{signal.SIGKILL} (SIGKILL)\n{victim.stderr}",
+                file=sys.stderr,
+            )
+            return 1
+        survived = [r["index"] for r in stream_payloads(stream_dir, spec)]
+        resumed = run_spec(spec, stream_dir=stream_dir, resume=True)
+        elapsed = time.perf_counter() - start
+        resumed_table = resumed.to_table()
+    mismatched = [
+        attribute
+        for attribute in ("title", "columns", "rows", "notes")
+        if getattr(serial_table, attribute) != getattr(resumed_table, attribute)
+    ]
+    if not survived:
+        mismatched.append("no durable records survived the kill")
+    if mismatched:
+        print(
+            f"KILL9 FAILURE: resumed table differs from serial in "
+            f"{', '.join(mismatched)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"kill-9 survival {elapsed:.2f}s: SIGKILL after record "
+        f"{len(survived)}, resume recovered {resumed.provenance['points_resumed']} "
+        f"point(s) from disk and matched the serial table bit-identically"
+    )
+    return 0
+
+
+def _build_stream(directory: Path, spec, points: int, segments: int) -> None:
+    """Fill ``directory`` with ``segments`` interleaved sorted runs.
+
+    Appending run 2's first index after run 1's last (a descending jump)
+    rolls the sink to a fresh segment, so the directory ends up with
+    exactly ``segments`` sorted segment files — the on-disk shape of a
+    parallel sweep whose workers completed points out of order.
+    """
+    sink = StreamingResultSink(directory, spec, durable=False)
+    for run in range(segments):
+        for index in range(run, points, segments):
+            sink.append(
+                {
+                    "index": index,
+                    "label": f"point-{index}",
+                    "results": [
+                        {"seed": s, "rounds": 10 + (index + s) % 7, "informed": 4096}
+                        for s in range(10)
+                    ],
+                }
+            )
+    sink.close()
+
+
+def check_merge_memory(
+    spec, points: int, scale: int, segments: int, max_growth: float
+) -> int:
+    """Peak merge memory must stay ~flat as points grow ``scale``x."""
+    peaks = {}
+    for label, count in (("small", points), ("large", points * scale)):
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = Path(tmp)
+            _build_stream(directory, spec, count, segments)
+            seen = {"records": 0}
+
+            def consume():
+                previous = -1
+                for payload in stream_payloads(directory, spec):
+                    index = int(payload["index"])
+                    if index <= previous:
+                        raise AssertionError("merge emitted indices out of order")
+                    previous = index
+                    seen["records"] += 1
+
+            peaks[label] = traced_peak_mb(consume)
+            if seen["records"] != count:
+                print(
+                    f"MERGE FAILURE: streamed {seen['records']} of {count} "
+                    f"records",
+                    file=sys.stderr,
+                )
+                return 1
+    growth = peaks["large"] / peaks["small"]
+    verdict = "OK" if growth <= max_growth else "FAILURE"
+    print(
+        f"streamed merge memory: {points} points -> {peaks['small']:.2f} MB "
+        f"peak, {points * scale} points -> {peaks['large']:.2f} MB peak "
+        f"({growth:.2f}x growth for {scale}x data across {segments} "
+        f"segments; limit {max_growth:.1f}x) {verdict}"
+    )
+    if growth > max_growth:
+        print(
+            f"MERGE MEMORY FAILURE: peak grew {growth:.2f}x for {scale}x "
+            f"data — the merge is no longer O(segments)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--spec", default=str(DEFAULT_SPEC), help="scenario spec file to run"
+    )
+    parser.add_argument(
+        "--points", type=int, default=300, help="base synthetic point count"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=10, help="data growth factor (default 10x)"
+    )
+    parser.add_argument(
+        "--segments", type=int, default=8, help="sorted runs per stream dir"
+    )
+    parser.add_argument(
+        "--max-growth",
+        type=float,
+        default=3.0,
+        help="max allowed peak-memory growth for --scale x data (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    spec = load_spec(args.spec)
+    print(f"spec: {spec.name}")
+    exit_code = check_kill9(args.spec, spec)
+    exit_code = (
+        check_merge_memory(
+            spec, args.points, args.scale, args.segments, args.max_growth
+        )
+        or exit_code
+    )
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

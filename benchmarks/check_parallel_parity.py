@@ -170,6 +170,60 @@ def run_chaos(spec, point_count, workers, serial_table) -> int:
             f"chaos [{name}] {elapsed:.2f}s: survived bit-identically "
             f"({recovery})"
         )
+    return exit_code or run_stream_chaos(spec, point_count, workers, serial_table)
+
+
+def run_stream_chaos(spec, point_count, workers, serial_table) -> int:
+    """Replay every bundled disk-fault plan against the streaming sink.
+
+    ``torn-write`` and ``enospc`` interrupt the sweep mid-flight; the resumed
+    run against the same ``stream_dir`` must recover the durable prefix and
+    finish bit-identically to the serial table.  ``fsync-error`` must be
+    retried transparently within a single run.  (The lethal ``kill-9`` plan
+    is exercised by ``check_crash_recovery.py`` in a subprocess.)
+    """
+    import tempfile
+
+    from repro.dist import SinkFullError, SweepInterrupted
+    from repro.faultinject import bundled_stream_plans
+
+    exit_code = 0
+    for name, plan in bundled_stream_plans(point_count).items():
+        start = time.perf_counter()
+        with tempfile.TemporaryDirectory() as stream_dir:
+            recovery = "clean first pass"
+            try:
+                result = run_spec(
+                    spec, workers=workers, fault_plan=plan, stream_dir=stream_dir
+                )
+            except (SinkFullError, SweepInterrupted) as fault:
+                recovery = f"resumed after {type(fault).__name__}"
+                result = run_spec(
+                    spec, workers=workers, stream_dir=stream_dir, resume=True
+                )
+            chaos_table = result.to_table()
+            stream_stats = result.provenance.get("stream") or {}
+        elapsed = time.perf_counter() - start
+        mismatched = [
+            attribute
+            for attribute in ("title", "columns", "rows", "notes")
+            if getattr(serial_table, attribute) != getattr(chaos_table, attribute)
+        ]
+        if name in ("torn-write", "enospc") and recovery == "clean first pass":
+            mismatched.append("fault never fired (expected an interrupted run)")
+        if mismatched:
+            print(
+                f"STREAM CHAOS FAILURE [{name}]: differs from serial in "
+                f"{', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+            continue
+        print(
+            f"stream chaos [{name}] {elapsed:.2f}s: survived bit-identically "
+            f"({recovery}, segments={stream_stats.get('segments')}, "
+            f"quarantined={stream_stats.get('torn_quarantined')})"
+        )
     return exit_code
 
 

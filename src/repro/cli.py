@@ -143,11 +143,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_spec_cmd.add_argument(
+        "--stream-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "append every completed grid point to a crash-safe streaming "
+            "sink in DIR (checksummed, fsync'd segment files) instead of "
+            "holding results in memory; a sweep killed at any byte offset "
+            "resumes with --resume from exactly what reached the disk"
+        ),
+    )
+    run_spec_cmd.add_argument(
+        "--fsync-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fsync the stream sink after every N appended records (default "
+            "1: every point durable before the sweep proceeds; larger N "
+            "trades a crash window of up to N records for throughput)"
+        ),
+    )
+    run_spec_cmd.add_argument(
         "--resume",
         action="store_true",
         help=(
-            "skip grid points already checkpointed in --checkpoint-dir "
-            "(the directory must belong to this exact spec)"
+            "skip grid points already durable in --checkpoint-dir and/or "
+            "--stream-dir (the directory must belong to this exact spec)"
         ),
     )
     run_spec_cmd.add_argument(
@@ -451,13 +473,14 @@ def _dry_run_table(spec: ScenarioSpec, shard: Optional[str]) -> Table:
 def _run_run_spec(args: argparse.Namespace) -> int:
     from .dist.progress import print_point_progress
     from .dist.resilience import RetryPolicy, SweepInterrupted
+    from .dist.sink import SinkFullError
 
-    if args.resume and args.checkpoint_dir is None:
+    if args.resume and args.checkpoint_dir is None and args.stream_dir is None:
         # Fail before any work (or spec parsing) happens: a typo'd resume
         # would otherwise silently re-run the whole sweep from scratch.
         raise ConfigurationError(
-            "--resume requires --checkpoint-dir: resuming needs the directory "
-            "that holds the earlier run's point checkpoints"
+            "--resume requires --checkpoint-dir or --stream-dir: resuming "
+            "needs the directory that holds the earlier run's durable points"
         )
 
     spec = load_spec(args.spec_file)
@@ -485,6 +508,8 @@ def _run_run_spec(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard=args.shard,
             checkpoint_dir=args.checkpoint_dir,
+            stream_dir=args.stream_dir,
+            fsync_every=args.fsync_every,
             resume=args.resume,
             progress=print_point_progress if args.progress else None,
             retry=retry,
@@ -493,6 +518,11 @@ def _run_run_spec(args: argparse.Namespace) -> int:
     except SweepInterrupted as interrupted:
         print(str(interrupted), file=sys.stderr)
         return 130  # conventional exit status for SIGINT-terminated commands
+    except SinkFullError as full:
+        # Everything appended so far is durable; the sweep is resumable as
+        # soon as space is freed — report how, don't stack-trace.
+        print(str(full), file=sys.stderr)
+        return 75  # EX_TEMPFAIL: transient, retry later
     table = run.to_table()
     print(table.render())
     if args.save:

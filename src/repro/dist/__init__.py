@@ -19,6 +19,15 @@ SIGINT/SIGTERM shut the sweep down cleanly into a resumable checkpoint
 directory (:class:`SweepInterrupted`).  Deterministic fault injection for
 all of it lives in :mod:`repro.faultinject`.
 
+For grids too large to hold in memory, the **streaming result sink**
+(:mod:`~repro.dist.sink`) appends every completed point to checksummed,
+fsync'd segment files behind a write-ahead manifest: a sweep killed with
+``kill -9`` at any byte offset resumes from exactly what reached the disk
+(torn tails are quarantined, never guessed at), and the merged table is
+produced by a k-way streaming merge in O(segments) memory
+(:func:`merge_streams`, :func:`streamed_table`).  ``ENOSPC`` degrades
+gracefully into a resumable :class:`SinkFullError`.
+
 The usual entry point is ``run_spec(spec, workers=N, ...)``; this package is
 the machinery behind it, exposed for callers that need shard-level control
 (e.g. running one shard per host and merging with :func:`merge_runs`).
@@ -46,6 +55,17 @@ from .progress import (
     log_point_progress,
     print_point_progress,
 )
+from .sink import (
+    SINK_SCHEMA,
+    SinkError,
+    SinkFullError,
+    SinkWriteError,
+    StreamingResultSink,
+    merge_streams,
+    point_run_from_payload,
+    stream_payloads,
+    streamed_table,
+)
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
@@ -67,4 +87,13 @@ __all__ = [
     "ProgressCallback",
     "log_point_progress",
     "print_point_progress",
+    "SINK_SCHEMA",
+    "SinkError",
+    "SinkFullError",
+    "SinkWriteError",
+    "StreamingResultSink",
+    "merge_streams",
+    "point_run_from_payload",
+    "stream_payloads",
+    "streamed_table",
 ]

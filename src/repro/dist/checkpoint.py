@@ -9,9 +9,12 @@ fingerprint guards against accidentally resuming a directory that belongs to
 a different scenario, which would otherwise silently merge unrelated
 results.
 
-Files are written atomically (temp file + rename) so a run killed mid-write
-never leaves a truncated checkpoint behind — at worst the interrupted point
-re-runs on resume.  A checkpoint that *is* corrupt anyway (torn by the
+Files are written atomically (temp file + fsync + rename + directory fsync,
+:func:`~repro.dist.durability.atomic_write_text`) so a run killed mid-write
+— or a power loss right after — never leaves a truncated checkpoint behind:
+at worst the interrupted point re-runs on resume.  ``durable=False`` skips
+the fsyncs for tests and throwaway runs, keeping only rename atomicity.
+A checkpoint that *is* corrupt anyway (torn by the
 filesystem, truncated by an external copy) is quarantined on load: the file
 is renamed to ``*.corrupt`` and the point simply re-runs and rewrites it
 cleanly, instead of the resume failing — or silently skipping the same
@@ -30,6 +33,7 @@ from typing import Dict, List, Union
 
 from ..core.errors import ConfigurationError
 from ..spec.scenario import ScenarioSpec
+from .durability import atomic_write_text
 
 __all__ = ["CHECKPOINT_SCHEMA", "spec_fingerprint", "CheckpointStore"]
 
@@ -62,11 +66,19 @@ class CheckpointStore:
     spec:
         The full-grid scenario; its fingerprint is stamped into every file
         and verified on load.
+    durable:
+        When ``True`` (the default) every save fsyncs the temp file before
+        the atomic rename and the directory entry after it, so a completed
+        point's checkpoint survives a power loss, not just a process kill.
+        ``False`` keeps only the rename atomicity (tests, throwaway runs).
     """
 
-    def __init__(self, directory: PathLike, spec: ScenarioSpec) -> None:
+    def __init__(
+        self, directory: PathLike, spec: ScenarioSpec, durable: bool = True
+    ) -> None:
         self.directory = Path(directory)
         self.fingerprint = spec_fingerprint(spec)
+        self.durable = durable
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, index: int) -> Path:
@@ -74,11 +86,14 @@ class CheckpointStore:
         return self.directory / f"point-{index:06d}.json"
 
     def save(self, payload: Dict[str, object]) -> Path:
-        """Atomically write one completed point's payload.
+        """Atomically (and, when ``durable``, crash-durably) write one point.
 
         ``payload`` is the executor's wire format (index, values, label,
         spec, elapsed_seconds, results); the store adds the schema version
-        and the scenario fingerprint.
+        and the scenario fingerprint.  The write is temp file + fsync +
+        atomic rename + directory fsync, so the destination only ever holds
+        a complete record and the rename itself survives a crash; on any
+        failure the temp file is removed and the point simply re-runs.
         """
         index = payload["index"]
         record = {
@@ -86,17 +101,9 @@ class CheckpointStore:
             "fingerprint": self.fingerprint,
             **payload,
         }
-        destination = self.path_for(int(index))
-        temporary = destination.with_suffix(".json.tmp")
-        try:
-            temporary.write_text(json.dumps(record))
-            os.replace(temporary, destination)
-        except BaseException:
-            # Never leave a half-written temp behind an interrupt or a full
-            # disk; the point will simply re-run.
-            temporary.unlink(missing_ok=True)
-            raise
-        return destination
+        return atomic_write_text(
+            self.path_for(int(index)), json.dumps(record), durable=self.durable
+        )
 
     def discard_stale_temps(self) -> List[Path]:
         """Delete leftover ``*.json.tmp`` files from a killed writer.

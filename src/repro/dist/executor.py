@@ -49,13 +49,20 @@ Checkpoints (optional) are written by the parent as points complete, so an
 interrupted sweep resumes where it stopped; sharded runs
 (:func:`~repro.dist.partition.select_indices`) execute a deterministic
 subset of the grid, and :func:`merge_runs` reassembles shard outputs into
-the one full-grid run.  Deterministic fault injection for all of the above
-lives in :mod:`repro.faultinject` (``run_spec(fault_plan=...)``).
+the one full-grid run.  With ``stream_dir`` set, every completed point is
+additionally **streamed** to a crash-safe on-disk sink
+(:class:`~repro.dist.sink.StreamingResultSink`): records are appended as
+checksummed, fsync'd segment entries instead of being held in memory, a
+``kill -9`` at any byte offset resumes from exactly what reached the disk,
+and the final run is materialised by a k-way streaming merge.
+Deterministic fault injection for all of the above lives in
+:mod:`repro.faultinject` (``run_spec(fault_plan=...)``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import threading
 import time
@@ -80,6 +87,7 @@ from ..spec.scenario import ScenarioSpec
 from .checkpoint import CheckpointStore, PathLike
 from .partition import ExpandedPoint, ShardLike, expand_points, parse_shard, select_indices
 from .progress import PointProgress, ProgressCallback
+from .sink import SinkError, StreamingResultSink, point_run_from_payload
 from .resilience import (
     PointFailure,
     RetryPolicy,
@@ -231,21 +239,6 @@ def _group_by_graph(
     return [chunk for key in order for chunk in groups[key]]
 
 
-def _point_run_from_payload(payload: Dict[str, object]) -> PointRun:
-    """Rebuild a :class:`PointRun` from the wire/checkpoint payload.
-
-    Fresh and resumed points both pass through this single deserialisation
-    path, so a resumed sweep is indistinguishable from an uninterrupted one.
-    """
-    return PointRun(
-        index=int(payload["index"]),
-        values=dict(payload["values"]),
-        label=payload["label"],
-        spec=ScenarioSpec.from_dict(payload["spec"]),
-        results=[RunResult.from_dict(result) for result in payload["results"]],
-    )
-
-
 def _hard_shutdown(executor) -> None:
     """Tear a (possibly broken or stalled) process pool down without waiting.
 
@@ -305,10 +298,29 @@ class ParallelScenarioExecutor:
     checkpoint_dir:
         When set, one checkpoint file per completed point is written there
         (see :class:`CheckpointStore`); an interrupted sweep keeps them.
+    stream_dir:
+        When set, every completed point is appended to a crash-safe
+        streaming sink there (:class:`~repro.dist.sink.StreamingResultSink`)
+        instead of being held in memory while the sweep runs: records are
+        checksummed, fsync'd on the ``fsync_every`` cadence, and recovered
+        — torn tails quarantined — on resume, so a ``kill -9`` at any byte
+        offset costs at most the records inside the durability window.
+        The returned run is materialised from the sink by a streaming
+        merge; sharded runs tag their segments so one collection directory
+        can serve every shard.
+    fsync_every:
+        Sink fsync cadence (default 1: every record durable before the
+        sweep proceeds).  Ignored without ``stream_dir``.
+    stream_durable:
+        ``False`` disables the sink's fsync calls entirely (tests,
+        throwaway sweeps on tmpfs).  Ignored without ``stream_dir``.
     resume:
-        Skip points whose checkpoint file already exists (requires
-        ``checkpoint_dir``).  The scenario fingerprint is verified, so a
-        directory from a different spec fails loudly.
+        Skip points that are already durable — in the stream directory
+        and/or the checkpoint directory (requires at least one of them).
+        The scenario fingerprint is verified, so a directory from a
+        different spec fails loudly.  With both directories set,
+        checkpointed points missing from the stream are replayed into it
+        without re-execution.
     progress:
         Optional per-point callback (see :mod:`repro.dist.progress`).
     mp_context:
@@ -326,6 +338,9 @@ class ParallelScenarioExecutor:
 
     workers: int = 1
     checkpoint_dir: Optional[PathLike] = None
+    stream_dir: Optional[PathLike] = None
+    fsync_every: int = 1
+    stream_durable: bool = True
     resume: bool = False
     progress: Optional[ProgressCallback] = None
     mp_context: Optional[str] = None
@@ -337,9 +352,10 @@ class ParallelScenarioExecutor:
             raise ConfigurationError(
                 f"workers must be a positive int, got {self.workers!r}"
             )
-        if self.resume and self.checkpoint_dir is None:
+        if self.resume and self.checkpoint_dir is None and self.stream_dir is None:
             raise ConfigurationError(
-                "resume=True requires a checkpoint directory (checkpoint_dir)"
+                "resume=True requires a checkpoint directory (checkpoint_dir) "
+                "or a stream directory (stream_dir)"
             )
         self._interrupt_requested = False
 
@@ -364,6 +380,12 @@ class ParallelScenarioExecutor:
         indices = select_indices(total, shard=shard, points=points)
         selected = [all_points[i] for i in indices]
 
+        parent_injector = (
+            FaultInjector(self.fault_plan, mode="inline")
+            if self.fault_plan is not None
+            else None
+        )
+
         store: Optional[CheckpointStore] = None
         completed_payloads: Dict[int, Dict[str, object]] = {}
         if self.checkpoint_dir is not None:
@@ -371,21 +393,56 @@ class ParallelScenarioExecutor:
             if self.resume:
                 completed_payloads = store.load()
 
+        sink: Optional[StreamingResultSink] = None
+        if self.stream_dir is not None:
+            tag = ""
+            if shard is not None:
+                shard_index, shard_count = parse_shard(shard)
+                tag = f"{shard_index}of{shard_count}"
+            sink = StreamingResultSink(
+                self.stream_dir,
+                spec,
+                fsync_every=self.fsync_every,
+                durable=self.stream_durable,
+                tag=tag,
+                resume=self.resume,
+                append_hook=(
+                    parent_injector.sink_append_fault if parent_injector else None
+                ),
+                fsync_hook=(
+                    parent_injector.sink_fsync_fault if parent_injector else None
+                ),
+            )
+
         state = _RunState(total=total, total_selected=len(selected))
         point_runs: Dict[int, PointRun] = {}
+        streamed = sink.recovered_indices if sink is not None else frozenset()
+        skipped: set = set()
         resumed = 0
         for point in selected:
+            if point.index in streamed:
+                skipped.add(point.index)
+                resumed += 1
+                state.completed += 1
+                self._emit(point.index, total, point.label, 0.0, source="stream")
+                continue
             payload = completed_payloads.get(point.index)
             if payload is None:
                 continue
-            point_runs[point.index] = _point_run_from_payload(payload)
+            if sink is not None:
+                # Checkpoint -> stream replay: the point is already computed,
+                # it only needs to reach the sink's durable record format.
+                sink.append(payload)
+            else:
+                point_runs[point.index] = point_run_from_payload(payload)
+            skipped.add(point.index)
             resumed += 1
             state.completed += 1
             self._emit(point.index, total, point.label, 0.0, source="checkpoint")
 
         from ..experiments.runner import ExperimentRunner
 
-        pending = [p for p in selected if p.index not in point_runs]
+        pending = [p for p in selected if p.index not in skipped]
         graphs_distinct = len(
             {ExperimentRunner.graph_cache_key(p.spec.graph) for p in pending}
         )
@@ -397,12 +454,6 @@ class ParallelScenarioExecutor:
             "batch": spec.batch,
         }
 
-        parent_injector = (
-            FaultInjector(self.fault_plan, mode="inline")
-            if self.fault_plan is not None
-            else None
-        )
-
         def handle_payload(payload: Dict[str, object]) -> None:
             index = int(payload["index"])
             if store is not None:
@@ -412,7 +463,20 @@ class ParallelScenarioExecutor:
                     # intact; a later resume quarantines the file and re-runs
                     # the point (asserted in the chaos suite).
                     parent_injector.corrupt_checkpoint(index, path)
-            point_runs[index] = _point_run_from_payload(payload)
+            if sink is not None:
+                segment, start, end = sink.append(payload)
+                if parent_injector is not None:
+                    if parent_injector.tear_stream(index, segment, start, end):
+                        # The record just written is now torn on disk.  The
+                        # sink stops accepting appends (as if the process had
+                        # died mid-write) and the sweep shuts down, so resume
+                        # exercises genuine torn-tail recovery.
+                        sink.freeze()
+                        self._interrupt_requested = True
+                    if parent_injector.kill_after_records(sink.records_appended):
+                        os.kill(os.getpid(), signal.SIGKILL)
+            else:
+                point_runs[index] = point_run_from_payload(payload)
             state.completed += 1
             self._emit(
                 index,
@@ -435,10 +499,24 @@ class ParallelScenarioExecutor:
         except SweepInterrupted:
             if store is not None:
                 store.discard_stale_temps()
+            if sink is not None:
+                sink.close(strict=False)
+            raise
+        except SinkError:
+            if sink is not None:
+                sink.close(strict=False)
             raise
         finally:
             self._restore_signal_handlers(previous_handlers)
 
+        if sink is not None:
+            sink.close()
+            selected_set = {p.index for p in selected}
+            point_runs = {}
+            for payload in sink.iter_merged():
+                index = int(payload["index"])
+                if index in selected_set:
+                    point_runs[index] = point_run_from_payload(payload)
         run = ScenarioRun(
             spec=spec,
             points=[point_runs[index] for index in sorted(point_runs)],
@@ -475,6 +553,7 @@ class ParallelScenarioExecutor:
             "checkpoint_dir": (
                 str(self.checkpoint_dir) if self.checkpoint_dir is not None else None
             ),
+            "stream": sink.stats() if sink is not None else None,
         }
         return run
 
@@ -532,6 +611,9 @@ class ParallelScenarioExecutor:
             total=state.total_selected,
             checkpoint_dir=(
                 str(self.checkpoint_dir) if self.checkpoint_dir is not None else None
+            ),
+            stream_dir=(
+                str(self.stream_dir) if self.stream_dir is not None else None
             ),
         )
 
@@ -861,7 +943,21 @@ def merge_runs(runs: Sequence[ScenarioRun]) -> ScenarioRun:
     failures: Dict[int, Dict[str, object]] = {}
     for run in runs:
         for failure in (run.provenance or {}).get("failures") or []:
-            failures[int(failure["index"])] = dict(failure)
+            index = int(failure["index"])
+            if index in failures:
+                raise ConfigurationError(
+                    f"grid point {index} was quarantined by more than one "
+                    "shard; shards must be disjoint — the same directory or "
+                    "shard spec was probably run twice"
+                )
+            if index in merged:
+                raise ConfigurationError(
+                    f"grid point {index} completed in one shard but was "
+                    "quarantined in another; overlapping shards executed the "
+                    "same point with different outcomes — re-run with "
+                    "disjoint shards instead of silently preferring either"
+                )
+            failures[index] = dict(failure)
     expected = spec.sweep.size if spec.sweep is not None else 1
     missing = sorted(set(range(expected)) - set(merged) - set(failures))
     if missing:

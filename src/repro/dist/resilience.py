@@ -184,6 +184,9 @@ class SweepInterrupted(ReproError):
         points selected for this run.
     checkpoint_dir:
         Where the completed points were flushed, or ``None``.
+    stream_dir:
+        The streaming-sink directory holding the durable records, or
+        ``None``.  Either directory makes the interrupt resumable.
     """
 
     def __init__(
@@ -191,16 +194,27 @@ class SweepInterrupted(ReproError):
         completed: int,
         total: int,
         checkpoint_dir: Optional[str] = None,
+        stream_dir: Optional[str] = None,
     ) -> None:
         self.completed = completed
         self.total = total
         self.checkpoint_dir = checkpoint_dir
-        resume_hint = (
-            f"; resume with the same checkpoint directory ({checkpoint_dir}) "
-            "and resume=True (CLI: --resume)"
-            if checkpoint_dir
-            else "; re-run with a checkpoint directory to make interrupts resumable"
-        )
+        self.stream_dir = stream_dir
+        if checkpoint_dir:
+            resume_hint = (
+                f"; resume with the same checkpoint directory "
+                f"({checkpoint_dir}) and resume=True (CLI: --resume)"
+            )
+        elif stream_dir:
+            resume_hint = (
+                f"; resume with the same stream directory ({stream_dir}) "
+                "and resume=True (CLI: --resume)"
+            )
+        else:
+            resume_hint = (
+                "; re-run with a checkpoint or stream directory to make "
+                "interrupts resumable"
+            )
         super().__init__(
             f"sweep interrupted: {completed} of {total} selected point(s) "
             f"completed{resume_hint}"

@@ -1,7 +1,13 @@
 """Experiment harness: runners, sweeps, tables, and the E1–E12 registry."""
 
 from .registry import EXPERIMENTS, available_experiments, run_experiment_by_id
-from .results_io import load_table_json, save_table, save_table_csv, save_table_json
+from .results_io import (
+    ResultsIOError,
+    load_table_json,
+    save_table,
+    save_table_csv,
+    save_table_json,
+)
 from .runner import ExperimentRunner, repeat_broadcast
 from .tables import Table
 from .workloads import DEFAULT_DEGREE, LARGE_DEGREE, SweepSizes, full_sizes, quick_sizes
@@ -22,4 +28,5 @@ __all__ = [
     "save_table_json",
     "save_table_csv",
     "load_table_json",
+    "ResultsIOError",
 ]

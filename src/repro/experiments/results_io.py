@@ -25,6 +25,7 @@ from .tables import Table
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ResultsIOError",
     "save_table_json",
     "load_table_json",
     "save_table_csv",
@@ -32,6 +33,20 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+class ResultsIOError(ExperimentError):
+    """A saved results file cannot be read (truncated, invalid, or newer).
+
+    Carries the offending ``path`` so callers batch-loading archives can
+    report *which* file is damaged instead of re-parsing the message.
+    Subclasses :class:`ExperimentError`, so existing ``except`` clauses
+    keep working.
+    """
+
+    def __init__(self, path: PathLike, reason: str) -> None:
+        self.path = str(path)
+        super().__init__(f"cannot load table from {self.path}: {reason}")
 
 #: Version written into saved tables.  History:
 #: 1 — title/columns/rows/notes (implicit; files carry no version field);
@@ -63,42 +78,40 @@ def load_table_json(path: PathLike) -> Table:
     ``columns`` list is inferred from the rows, and row keys that drifted
     from the column list extend it instead of raising.  Files written by a
     *newer* schema are rejected with a clear message.
+
+    Every failure — unreadable file, truncated/invalid JSON, wrong shape,
+    newer schema — raises :class:`ResultsIOError` naming the path.
     """
     source = Path(path)
     try:
         payload = json.loads(source.read_text())
     except (OSError, json.JSONDecodeError) as error:
-        raise ExperimentError(f"cannot load table from {source}: {error}") from error
+        raise ResultsIOError(source, str(error)) from error
     if not isinstance(payload, dict):
-        raise ExperimentError(f"table file {source} does not hold a JSON object")
+        raise ResultsIOError(source, "file does not hold a JSON object")
     version = payload.get("schema_version", 1)
     if not isinstance(version, int) or version < 1:
-        raise ExperimentError(
-            f"table file {source} has invalid schema_version {version!r}"
-        )
+        raise ResultsIOError(source, f"invalid schema_version {version!r}")
     if version > SCHEMA_VERSION:
-        raise ExperimentError(
-            f"table file {source} was written by schema version {version}, but "
-            f"this build reads up to version {SCHEMA_VERSION}; upgrade repro "
-            "to load it"
+        raise ResultsIOError(
+            source,
+            f"written by schema version {version}, but this build reads up "
+            f"to version {SCHEMA_VERSION}; upgrade repro to load it",
         )
     if "rows" not in payload and "columns" not in payload:
-        raise ExperimentError(
-            f"table file {source} has neither 'rows' nor 'columns'; "
-            "not a saved table"
+        raise ResultsIOError(
+            source, "file has neither 'rows' nor 'columns'; not a saved table"
         )
     rows = payload.get("rows", [])
     if not isinstance(rows, list):
-        raise ExperimentError(f"table file {source} has a non-list 'rows' field")
+        raise ResultsIOError(source, "non-list 'rows' field")
     columns = list(payload.get("columns", []))
     # Format drift: rows may carry keys the column list predates (or the
     # column list may be absent entirely).  Extend instead of KeyError-ing.
     seen = set(columns)
     for row in rows:
         if not isinstance(row, dict):
-            raise ExperimentError(
-                f"table file {source} has a non-mapping row: {row!r}"
-            )
+            raise ResultsIOError(source, f"non-mapping row: {row!r}")
         for key in row:
             if key not in seen:
                 seen.add(key)

@@ -3,9 +3,11 @@
 ``repro.faultinject`` proves the resilience layer of :mod:`repro.dist`: a
 :class:`FaultPlan` describes — as plain, seed-derivable, JSON-serialisable
 data — exactly which faults strike which grid points (transient exceptions,
-worker kills, timeout stalls, torn checkpoint writes, interrupts), and the
-executor replays it deterministically via ``run_spec(fault_plan=...)`` or
-the CLI's hidden ``run-spec --fault-plan`` flag.
+worker kills, timeout stalls, torn checkpoint writes, interrupts) and which
+disk faults strike the streaming result sink (torn segment writes, ENOSPC,
+fsync failures, SIGKILL after N records), and the executor replays it
+deterministically via ``run_spec(fault_plan=...)`` or the CLI's hidden
+``run-spec --fault-plan`` flag.
 
 The cardinal invariant, asserted by the chaos suite
 (``tests/test_faultinject.py``) and CI's
@@ -17,22 +19,26 @@ seed = f(master, label) discipline makes re-execution invisible.
 
 from .plan import (
     FAULT_KINDS,
+    SINK_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     FaultRule,
     InjectedTransientError,
     bundled_plans,
+    bundled_stream_plans,
     load_plan,
     save_plan,
 )
 
 __all__ = [
     "FAULT_KINDS",
+    "SINK_FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
     "InjectedTransientError",
     "bundled_plans",
+    "bundled_stream_plans",
     "load_plan",
     "save_plan",
 ]

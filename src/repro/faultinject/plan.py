@@ -30,6 +30,7 @@ Plans are either hand-built or sampled reproducibly from a seed with
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
@@ -42,10 +43,13 @@ from ..core.rng import RandomSource, derive_seed
 
 __all__ = [
     "FAULT_KINDS",
+    "SINK_FAULT_KINDS",
     "InjectedTransientError",
     "FaultRule",
     "FaultPlan",
     "FaultInjector",
+    "bundled_plans",
+    "bundled_stream_plans",
     "load_plan",
     "save_plan",
 ]
@@ -57,9 +61,20 @@ FAULT_KINDS = (
     "stall",
     "truncate-checkpoint",
     "interrupt",
+    # Disk-fault rules for the streaming result sink (repro.dist.sink):
+    "torn-write",
+    "enospc",
+    "fsync-error",
+    "kill-after-records",
 )
 
+#: Rules that strike the parent-side streaming sink, not a worker point.
+SINK_FAULT_KINDS = ("torn-write", "enospc", "fsync-error", "kill-after-records")
+
 PathLike = Union[str, Path]
+
+_ENOSPC = errno.ENOSPC
+_EIO = errno.EIO
 
 
 class InjectedTransientError(ReproError):
@@ -84,7 +99,23 @@ class FaultRule:
         * ``"truncate-checkpoint"`` — after the parent writes the point's
           checkpoint, truncate the file to half its bytes (fires once);
         * ``"interrupt"`` — request the executor's clean-interrupt path
-          after the point completes (parent side).
+          after the point completes (parent side);
+        * ``"torn-write"`` — after the streaming sink appends the point's
+          record, tear the segment file ``offset`` bytes into that record
+          (half the record when ``offset`` is ``None``) and stop the sweep
+          as a crash would, so a resume must recover the torn tail (fires
+          once, parent side);
+        * ``"enospc"`` — the sink's append for the point fails with
+          ``OSError(ENOSPC)``, driving the graceful-degradation path
+          (``SinkFullError``; fires once, parent side);
+        * ``"fsync-error"`` — the fsync following the point's append fails
+          once with ``OSError(EIO)``; the sink must retry at the next
+          cadence point and the sweep must complete bit-identically
+          (parent side);
+        * ``"kill-after-records"`` — ``SIGKILL`` the **parent** process the
+          moment the sink has appended its ``records``-th record of this
+          run.  Lethal by design: only use from a subprocess harness (the
+          chaos CI job and ``tests/test_sink.py`` do).
     index:
         Grid index the rule targets.  ``None`` is only valid for
         ``kill-worker`` rules using ``worker_point``.
@@ -102,6 +133,14 @@ class FaultRule:
         fallback — the designed test for graceful degradation.
     duration:
         ``stall`` sleep length in seconds.
+    offset:
+        ``torn-write`` tear position in bytes from the start of the
+        appended record; ``None`` tears at half the record.  The tear is
+        clamped inside the record so the segment always ends mid-record.
+    records:
+        ``kill-after-records`` trigger: SIGKILL the parent once the sink
+        has appended this many records (1-based count of this process's
+        appends).
     """
 
     kind: str
@@ -109,6 +148,8 @@ class FaultRule:
     dispatches: Tuple[int, ...] = (1,)
     worker_point: Optional[int] = None
     duration: float = 0.0
+    offset: Optional[int] = None
+    records: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -128,10 +169,29 @@ class FaultRule:
                 )
             if self.worker_point < 1:
                 raise ConfigurationError("worker_point is 1-based")
+        elif self.kind == "kill-after-records":
+            if self.records is None or int(self.records) < 1:
+                raise ConfigurationError(
+                    "kill-after-records rules need a positive 'records' count"
+                )
         elif self.index is None:
             raise ConfigurationError(
                 f"{self.kind} rule needs a target grid 'index'"
             )
+        if self.records is not None and self.kind != "kill-after-records":
+            raise ConfigurationError(
+                "'records' only applies to kill-after-records rules"
+            )
+        if self.offset is not None:
+            if self.kind != "torn-write":
+                raise ConfigurationError(
+                    "'offset' only applies to torn-write rules"
+                )
+            if int(self.offset) < 1:
+                raise ConfigurationError(
+                    "torn-write 'offset' is in bytes and must be >= 1 "
+                    "(the tear lands inside the record)"
+                )
         if self.kind == "stall" and self.duration <= 0:
             raise ConfigurationError("stall rules need a positive 'duration'")
 
@@ -148,12 +208,23 @@ class FaultRule:
             "dispatches": list(self.dispatches),
             "worker_point": self.worker_point,
             "duration": self.duration,
+            "offset": self.offset,
+            "records": self.records,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FaultRule":
         unknown = sorted(
-            set(data) - {"kind", "index", "dispatches", "worker_point", "duration"}
+            set(data)
+            - {
+                "kind",
+                "index",
+                "dispatches",
+                "worker_point",
+                "duration",
+                "offset",
+                "records",
+            }
         )
         if unknown:
             raise ConfigurationError(
@@ -167,6 +238,8 @@ class FaultRule:
             dispatches=tuple(data.get("dispatches", (1,))),
             worker_point=data.get("worker_point"),
             duration=data.get("duration", 0.0),
+            offset=data.get("offset"),
+            records=data.get("records"),
         )
 
 
@@ -323,6 +396,7 @@ class FaultInjector:
         self.mode = mode
         self._points_started = 0
         self._fired_truncations: set = set()
+        self._fired_sink_rules: set = set()
 
     # -- worker side -----------------------------------------------------------
 
@@ -381,6 +455,84 @@ class FaultInjector:
             for rule in self.plan.rules
         )
 
+    # -- streaming-sink side (parent process) -----------------------------------
+
+    def sink_append_fault(self, index: int) -> None:
+        """Raise ``OSError(ENOSPC)`` for a matching ``enospc`` rule (once).
+
+        Installed as the sink's ``append_hook``; the sink handles the error
+        exactly like a real full disk — roll back to the record boundary,
+        fsync what fits, raise :class:`~repro.dist.sink.SinkFullError`.
+        """
+        for position, rule in enumerate(self.plan.rules):
+            if (
+                rule.kind == "enospc"
+                and rule.index == index
+                and ("enospc", position) not in self._fired_sink_rules
+            ):
+                self._fired_sink_rules.add(("enospc", position))
+                raise OSError(
+                    _ENOSPC, f"injected ENOSPC at stream record {index}"
+                )
+
+    def sink_fsync_fault(self, index: int) -> None:
+        """Fail one fsync with ``OSError(EIO)`` for a matching rule.
+
+        Installed as the sink's ``fsync_hook``; ``index`` is the most
+        recently appended record's grid index.  Fires once per rule, so the
+        sink's retry at the next cadence point succeeds — the designed test
+        for transient fsync failure.
+        """
+        for position, rule in enumerate(self.plan.rules):
+            if (
+                rule.kind == "fsync-error"
+                and rule.index == index
+                and ("fsync", position) not in self._fired_sink_rules
+            ):
+                self._fired_sink_rules.add(("fsync", position))
+                raise OSError(
+                    _EIO, f"injected fsync failure after stream record {index}"
+                )
+
+    def tear_stream(
+        self, index: int, path: PathLike, start: int, end: int
+    ) -> bool:
+        """Tear the just-appended stream record mid-byte (once per rule).
+
+        ``start``/``end`` delimit the record inside its segment file; the
+        tear lands ``rule.offset`` bytes past ``start`` (clamped inside the
+        record; half the record when unset).  Returns ``True`` when a tear
+        fired — the executor then freezes the sink and stops the sweep the
+        way a crash at that exact byte offset would, so the resume path is
+        exercised against a genuinely torn tail.
+        """
+        for position, rule in enumerate(self.plan.rules):
+            if (
+                rule.kind == "torn-write"
+                and rule.index == index
+                and ("tear", position) not in self._fired_sink_rules
+            ):
+                self._fired_sink_rules.add(("tear", position))
+                length = max(1, end - start)
+                offset = length // 2 if rule.offset is None else int(rule.offset)
+                offset = min(max(1, offset), length - 1)
+                with Path(path).open("rb+") as handle:
+                    handle.truncate(start + offset)
+                return True
+        return False
+
+    def kill_after_records(self, appended: int) -> bool:
+        """Does a ``kill-after-records`` rule fire at this append count?
+
+        The caller (the executor) performs the actual ``SIGKILL`` — keeping
+        the lethal syscall in one greppable place — and only ever from a
+        process the test harness owns.
+        """
+        return any(
+            rule.kind == "kill-after-records" and rule.records == appended
+            for rule in self.plan.rules
+        )
+
 
 def bundled_plans(
     point_count: int, stall_duration: float = 30.0
@@ -423,3 +575,49 @@ def bundled_plans(
             rules=(FaultRule(kind="transient-error", index=last, dispatches=()),)
         ),
     }
+
+
+def bundled_stream_plans(
+    point_count: int, include_kill: bool = False
+) -> Dict[str, FaultPlan]:
+    """The canonical **disk-fault** chaos plans for the streaming sink.
+
+    One plan per sink failure mode, each deterministic for a
+    ``point_count``-sized grid:
+
+    * ``"torn-write"`` — the mid-grid point's record is torn a few bytes in
+      and the sweep stops as a crash would; the resume must quarantine the
+      tail and re-run exactly that point, bit-identically.
+    * ``"enospc"`` — the disk "fills" at the mid-grid point; the run raises
+      a resumable :class:`~repro.dist.sink.SinkFullError` with everything
+      before it durable.
+    * ``"fsync-error"`` — one fsync fails transiently; the sweep completes
+      in one go, bit-identically.
+    * ``"kill-9"`` (only when ``include_kill=True``) — SIGKILL the parent
+      after the second appended record.  **Lethal**: run it only inside a
+      subprocess harness.
+    """
+    if point_count < 1:
+        raise ConfigurationError(
+            "bundled_stream_plans needs at least one grid point"
+        )
+    mid = point_count // 2
+    plans = {
+        "torn-write": FaultPlan(
+            rules=(FaultRule(kind="torn-write", index=mid, offset=7),)
+        ),
+        "enospc": FaultPlan(rules=(FaultRule(kind="enospc", index=mid),)),
+        "fsync-error": FaultPlan(
+            rules=(FaultRule(kind="fsync-error", index=mid),)
+        ),
+    }
+    if include_kill:
+        plans["kill-9"] = FaultPlan(
+            rules=(
+                FaultRule(
+                    kind="kill-after-records",
+                    records=min(2, point_count),
+                ),
+            )
+        )
+    return plans

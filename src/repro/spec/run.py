@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments use spec
     from ..experiments.tables import Table
     from ..faultinject.plan import FaultPlan
 
-__all__ = ["PointRun", "ScenarioRun", "run_spec"]
+__all__ = ["PointRun", "ScenarioRun", "build_scenario_table", "run_spec"]
 
 
 @dataclass
@@ -92,47 +92,67 @@ class ScenarioRun:
 
     def to_table(self) -> "Table":
         """A generic summary table: one row per grid point."""
-        from ..experiments.tables import Table
+        return build_scenario_table(self.spec, self.points, self.provenance)
 
-        axis_keys = (
-            [axis.label_key for axis in self.spec.sweep.axes]
-            if self.spec.sweep is not None
-            else []
+
+def build_scenario_table(
+    spec: ScenarioSpec,
+    points: Iterable[PointRun],
+    provenance: Optional[Dict[str, object]] = None,
+) -> "Table":
+    """One summary row per grid point, consuming ``points`` as a stream.
+
+    This is the single table-construction path shared by
+    :meth:`ScenarioRun.to_table` and the streaming sink's
+    :func:`repro.dist.sink.streamed_table`: it touches each
+    :class:`PointRun` exactly once and keeps none of them, so a table over
+    a million-point stream costs one point's results at a time.  Identical
+    inputs produce identical tables regardless of which path built them.
+    """
+    from ..experiments.tables import Table
+
+    axis_keys = (
+        [axis.label_key for axis in spec.sweep.axes]
+        if spec.sweep is not None
+        else []
+    )
+    table = Table(
+        title=f"scenario: {spec.name}",
+        columns=axis_keys
+        + ["runs", "success_rate", "rounds_mean", "rounds_max", "tx_per_node"],
+    )
+    engines = set()
+    for point in points:
+        aggregate = point.aggregate
+        table.add_row(
+            **point.values,
+            runs=aggregate.runs,
+            success_rate=aggregate.success_rate,
+            rounds_mean=aggregate.rounds.mean,
+            rounds_max=aggregate.rounds.maximum,
+            tx_per_node=aggregate.transmissions_per_node.mean,
         )
-        table = Table(
-            title=f"scenario: {self.spec.name}",
-            columns=axis_keys
-            + ["runs", "success_rate", "rounds_mean", "rounds_max", "tx_per_node"],
+        engines.update(
+            str(result.metadata.get("engine", "scalar"))
+            for result in point.results
         )
-        for point in self.points:
-            aggregate = point.aggregate
-            table.add_row(
-                **point.values,
-                runs=aggregate.runs,
-                success_rate=aggregate.success_rate,
-                rounds_mean=aggregate.rounds.mean,
-                rounds_max=aggregate.rounds.maximum,
-                tx_per_node=aggregate.transmissions_per_node.mean,
-            )
-        engines = {
-            str(result.metadata.get("engine", "scalar")) for result in self.results()
-        }
+    table.add_note(
+        f"master seed {spec.master_seed}, "
+        f"{spec.repetitions} repetition(s) per point, "
+        f"engine: {', '.join(sorted(engines))}"
+    )
+    provenance = provenance or {}
+    failures = provenance.get("failures") or []
+    if failures:
+        labels = ", ".join(str(f.get("label", f.get("index"))) for f in failures)
         table.add_note(
-            f"master seed {self.spec.master_seed}, "
-            f"{self.spec.repetitions} repetition(s) per point, "
-            f"engine: {', '.join(sorted(engines))}"
+            f"{len(failures)} point(s) quarantined after repeated "
+            f"failures and excluded from this table: {labels}"
         )
-        failures = self.provenance.get("failures") or []
-        if failures:
-            labels = ", ".join(str(f.get("label", f.get("index"))) for f in failures)
-            table.add_note(
-                f"{len(failures)} point(s) quarantined after repeated "
-                f"failures and excluded from this table: {labels}"
-            )
-        table.metadata["spec"] = self.spec.to_dict()
-        if self.provenance:
-            table.metadata["distributed"] = dict(self.provenance)
-        return table
+    table.metadata["spec"] = spec.to_dict()
+    if provenance:
+        table.metadata["distributed"] = dict(provenance)
+    return table
 
 
 def run_spec(
@@ -142,6 +162,9 @@ def run_spec(
     shard: Optional["ShardLike"] = None,
     points: Optional[Union[slice, Iterable[int]]] = None,
     checkpoint_dir: Optional["PathLike"] = None,
+    stream_dir: Optional["PathLike"] = None,
+    fsync_every: int = 1,
+    stream_durable: bool = True,
     resume: bool = False,
     progress: Optional["ProgressCallback"] = None,
     retry: Optional["RetryPolicy"] = None,
@@ -165,6 +188,14 @@ def run_spec(
     * ``points`` — a :class:`slice` or collection of grid indices to run.
     * ``checkpoint_dir`` / ``resume`` — write one checkpoint file per
       completed point / skip points already checkpointed there.
+    * ``stream_dir`` / ``fsync_every`` / ``stream_durable`` — append every
+      completed point to a crash-safe streaming sink
+      (:class:`repro.dist.StreamingResultSink`) instead of holding results
+      in memory: records are checksummed and fsync'd every ``fsync_every``
+      appends, a ``kill -9`` resumes (``resume=True``) from exactly what
+      reached the disk, and ``ENOSPC`` raises a resumable
+      :class:`repro.dist.SinkFullError`.  ``stream_durable=False`` skips
+      fsyncs (tests, tmpfs).
     * ``progress`` — per-point completion callback
       (:class:`repro.dist.PointProgress`), honoured by both paths.
     * ``retry`` — recovery semantics (:class:`repro.dist.RetryPolicy`):
@@ -181,6 +212,7 @@ def run_spec(
         and shard is None
         and points is None
         and checkpoint_dir is None
+        and stream_dir is None
         and not resume
         and retry is None
         and fault_plan is None
@@ -193,6 +225,9 @@ def run_spec(
     executor = ParallelScenarioExecutor(
         workers=workers if workers is not None else 1,
         checkpoint_dir=checkpoint_dir,
+        stream_dir=stream_dir,
+        fsync_every=fsync_every,
+        stream_durable=stream_durable,
         resume=resume,
         progress=progress,
         retry=retry if retry is not None else RetryPolicy(),

@@ -210,6 +210,36 @@ class TestShardingAndMerge:
                 ]
             )
 
+    def test_merge_rejects_point_quarantined_by_two_shards(self):
+        # The same point quarantined by two shards means the same shard spec
+        # ran twice — silently keeping either record would hide that.
+        spec = sweep_spec()
+        shard = run_spec(spec, shard=(0, 2))
+        complement = run_spec(spec, shard=(1, 2))
+        failure = {"index": 2, "label": "d-push", "attempts": 3,
+                   "error_type": "Boom", "message": "x", "errors": []}
+        shard.points = [p for p in shard.points]
+        complement.points = [p for p in complement.points if p.index != 2]
+        complement.provenance["failures"] = [dict(failure)]
+        duplicate = run_spec(spec, points=[3])
+        duplicate.provenance["failures"] = [dict(failure)]
+        duplicate.points = []
+        with pytest.raises(ConfigurationError, match="more than one"):
+            merge_runs([shard, complement, duplicate])
+
+    def test_merge_rejects_point_both_completed_and_quarantined(self):
+        # One shard completed the point, another quarantined it: the shards
+        # overlapped and disagreed — refuse instead of preferring either.
+        spec = sweep_spec()
+        left = run_spec(spec, shard=(0, 2))
+        right = run_spec(spec, shard=(1, 2))
+        right.provenance["failures"] = [
+            {"index": 0, "label": "d-push", "attempts": 3,
+             "error_type": "Boom", "message": "x", "errors": []}
+        ]
+        with pytest.raises(ConfigurationError, match="completed in one shard"):
+            merge_runs([left, right])
+
     def test_points_slice_selects_subset(self):
         spec = sweep_spec()
         partial = run_spec(spec, points=slice(1, 3))
@@ -553,7 +583,9 @@ class TestInterruptShutdown:
         from repro.faultinject import FaultPlan, FaultRule
 
         plan = FaultPlan(rules=(FaultRule(kind="interrupt", index=0),))
-        with pytest.raises(SweepInterrupted, match="checkpoint directory"):
+        with pytest.raises(
+            SweepInterrupted, match="checkpoint or stream directory"
+        ):
             run_spec(sweep_spec(), workers=2, fault_plan=plan)
 
 

@@ -267,6 +267,50 @@ class TestFaultPlanModel:
             "kill-worker", "transient-error", "stall", "truncate-checkpoint"
         }
 
+    def test_disk_fault_rules_round_trip_through_json(self, tmp_path):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind="torn-write", index=3, offset=7),
+                FaultRule(kind="torn-write", index=4),  # offset=None: half
+                FaultRule(kind="enospc", index=1),
+                FaultRule(kind="fsync-error", index=2),
+                FaultRule(kind="kill-after-records", records=2),
+            ),
+            seed=7,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        path = save_plan(plan, tmp_path / "disk-plan.json")
+        loaded = load_plan(path)
+        assert loaded == plan
+        assert loaded.rules[0].offset == 7
+        assert loaded.rules[1].offset is None
+        assert loaded.rules[4].records == 2
+
+    def test_disk_fault_rule_validation(self):
+        with pytest.raises(ConfigurationError, match="offset"):
+            FaultRule(kind="enospc", index=0, offset=5)
+        with pytest.raises(ConfigurationError, match="offset"):
+            FaultRule(kind="torn-write", index=0, offset=0)
+        with pytest.raises(ConfigurationError, match="records"):
+            FaultRule(kind="kill-after-records")
+        with pytest.raises(ConfigurationError, match="records"):
+            FaultRule(kind="kill-after-records", records=0)
+        with pytest.raises(ConfigurationError, match="records"):
+            FaultRule(kind="enospc", index=0, records=2)
+        with pytest.raises(ConfigurationError, match="index"):
+            FaultRule(kind="torn-write")
+
+    def test_bundled_stream_plans_cover_the_disk_faults(self):
+        from repro.faultinject import bundled_stream_plans
+
+        plans = bundled_stream_plans(8)
+        assert set(plans) == {"torn-write", "enospc", "fsync-error"}
+        lethal = bundled_stream_plans(8, include_kill=True)
+        assert set(lethal) == {"torn-write", "enospc", "fsync-error", "kill-9"}
+        assert lethal["kill-9"].rules[0].records == 2
+        for plan in lethal.values():  # all serialisable for the CLI flag
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
     def test_fault_kinds_frozen(self):
         assert FAULT_KINDS == (
             "transient-error",
@@ -274,6 +318,10 @@ class TestFaultPlanModel:
             "stall",
             "truncate-checkpoint",
             "interrupt",
+            "torn-write",
+            "enospc",
+            "fsync-error",
+            "kill-after-records",
         )
 
 

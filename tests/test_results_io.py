@@ -10,6 +10,7 @@ import pytest
 from repro.core.errors import ExperimentError
 from repro.experiments.results_io import (
     SCHEMA_VERSION,
+    ResultsIOError,
     load_table_json,
     save_table,
     save_table_csv,
@@ -54,6 +55,41 @@ class TestJsonRoundTrip:
         bad.write_text("{not json")
         with pytest.raises(ExperimentError):
             load_table_json(bad)
+
+
+class TestResultsIOError:
+    """Every load failure is a typed ResultsIOError naming the path."""
+
+    def test_truncated_json_names_the_path(self, sample_table, tmp_path):
+        path = save_table_json(sample_table, tmp_path / "table.json")
+        data = path.read_text()
+        path.write_text(data[: len(data) // 2])  # torn write / partial copy
+        with pytest.raises(ResultsIOError) as excinfo:
+            load_table_json(path)
+        assert excinfo.value.path == str(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_missing_file_names_the_path(self, tmp_path):
+        missing = tmp_path / "does-not-exist.json"
+        with pytest.raises(ResultsIOError) as excinfo:
+            load_table_json(missing)
+        assert excinfo.value.path == str(missing)
+
+    def test_subclasses_experiment_error_for_compatibility(self, tmp_path):
+        assert issubclass(ResultsIOError, ExperimentError)
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")  # valid JSON, wrong shape
+        with pytest.raises(ResultsIOError, match="JSON object"):
+            load_table_json(bad)
+
+    def test_future_schema_raises_typed_error(self, sample_table, tmp_path):
+        path = save_table_json(sample_table, tmp_path / "table.json")
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ResultsIOError) as excinfo:
+            load_table_json(path)
+        assert excinfo.value.path == str(path)
 
 
 class TestSchemaVersioning:
