@@ -97,7 +97,7 @@ def check_kill9(spec_path: str, spec) -> int:
         mismatched.append("no durable records survived the kill")
     if mismatched:
         print(
-            f"KILL9 FAILURE: resumed table differs from serial in "
+            "KILL9 FAILURE: resumed table differs from serial in "
             f"{', '.join(mismatched)}",
             file=sys.stderr,
         )
@@ -105,7 +105,7 @@ def check_kill9(spec_path: str, spec) -> int:
     print(
         f"kill-9 survival {elapsed:.2f}s: SIGKILL after record "
         f"{len(survived)}, resume recovered {resumed.provenance['points_resumed']} "
-        f"point(s) from disk and matched the serial table bit-identically"
+        "point(s) from disk and matched the serial table bit-identically"
     )
     return 0
 
@@ -158,7 +158,7 @@ def check_merge_memory(
             if seen["records"] != count:
                 print(
                     f"MERGE FAILURE: streamed {seen['records']} of {count} "
-                    f"records",
+                    "records",
                     file=sys.stderr,
                 )
                 return 1
@@ -173,7 +173,7 @@ def check_merge_memory(
     if growth > max_growth:
         print(
             f"MERGE MEMORY FAILURE: peak grew {growth:.2f}x for {scale}x "
-            f"data — the merge is no longer O(segments)",
+            "data — the merge is no longer O(segments)",
             file=sys.stderr,
         )
         return 1

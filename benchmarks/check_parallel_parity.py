@@ -87,7 +87,7 @@ def main(argv=None) -> int:
         )
         return 1
     print(
-        f"parallel table identical to serial "
+        "parallel table identical to serial "
         f"({len(serial_table.rows)} rows, "
         f"{parallel_table.metadata['distributed']['points_total']} points)"
     )

@@ -79,7 +79,7 @@ def main() -> None:
         resumed = run_spec(spec, workers=2, checkpoint_dir=checkpoint_dir, resume=True)
         assert resumed.results() == serial.results()
         print(
-            f"   resumed run re-executed only "
+            "   resumed run re-executed only "
             f"{resumed.provenance['points_run']} of "
             f"{resumed.provenance['points_total']} points "
             f"({resumed.provenance['points_resumed']} from checkpoints), "

@@ -59,7 +59,7 @@ def main() -> None:
         f"ratio {profile['relative_to_friedman']:.2f})"
     )
     print(
-        f"  expander-mixing lower bound on a half-cut: "
+        "  expander-mixing lower bound on a half-cut: "
         f"{profile['mixing_lower_bound']:.0f} edges "
         f"(expected cut {profile['expected_cut']:.0f})"
     )

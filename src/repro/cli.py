@@ -14,6 +14,8 @@ The sub-commands cover the common workflows:
 * ``repro-broadcast list-protocols`` / ``list-graphs`` / ``list-failures`` /
   ``list-experiments`` — discovery, backed by the unified registries,
   including each entry's keyword parameters.
+* ``repro-broadcast lint`` — the determinism-contract checker
+  (:mod:`repro.lint`); CI gates on it next to the parity tripwires.
 
 The CLI is intentionally a thin veneer over the library; anything it can do is
 one or two calls into :mod:`repro`.
@@ -34,6 +36,7 @@ from .experiments.results_io import save_table
 from .experiments.tables import Table
 from .failures.registry import FAILURE_MODELS
 from .graphs.registry import GRAPH_FAMILIES
+from .lint.cli import add_lint_parser, run_lint
 from .protocols.registry import PROTOCOLS, available_protocols
 from .spec.run import ScenarioRun, run_spec
 from .spec.scenario import GraphSpec, ProtocolSpec, ScenarioSpec, load_spec, save_spec
@@ -273,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
         "list-failures", help="list available failure models and their parameters"
     )
     subparsers.add_parser("list-experiments", help="list registered experiments")
+    add_lint_parser(subparsers)
     return parser
 
 
@@ -627,6 +631,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _print_registry(FAILURE_MODELS)
     if args.command == "list-experiments":
         return _run_list_experiments()
+    if args.command == "lint":
+        return run_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -152,7 +152,7 @@ class Registry:
             if key in reserved:
                 raise ConfigurationError(
                     f"{self.kind} {name!r}: parameter {key!r} is supplied by the "
-                    f"runner and cannot be set explicitly"
+                    "runner and cannot be set explicitly"
                 )
             if accepted is not None and key not in accepted:
                 allowed = sorted(accepted - set(reserved))

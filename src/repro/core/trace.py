@@ -10,7 +10,7 @@ phase-dynamics figure benefits from observing individual events.  A
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 __all__ = ["Tracer", "NullTracer", "RecordingTracer", "TraceEvent"]

@@ -146,6 +146,8 @@ class CheckpointStore:
                 record = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError) as error:
                 quarantine = path.with_name(path.name + ".corrupt")
+                # lint: disable=DUR001 -- moving an already-corrupt file
+                # aside; losing the rename in a crash just re-quarantines it
                 os.replace(path, quarantine)
                 logger.warning(
                     "checkpoint file %s is corrupt (%s); quarantined to %s — "

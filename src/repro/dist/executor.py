@@ -249,17 +249,23 @@ def _hard_shutdown(executor) -> None:
     """
     try:
         executor.shutdown(wait=False, cancel_futures=True)
+    # lint: disable=EXC001 -- best-effort teardown of a pool already known to
+    # be broken/stalled; the caller restarts or degrades regardless
     except Exception:  # pragma: no cover - defensive
         pass
     processes = getattr(executor, "_processes", None)
     for process in list((processes or {}).values()):
         try:
             process.terminate()
+        # lint: disable=EXC001 -- the worker may already be dead; either way
+        # the next join/restart step handles it
         except Exception:  # pragma: no cover - already dead
             continue
     for process in list((processes or {}).values()):
         try:
             process.join(timeout=1.0)
+        # lint: disable=EXC001 -- best-effort reaping during hard shutdown;
+        # an unjoinable process is abandoned to the OS by design
         except Exception:  # pragma: no cover - defensive
             continue
 
@@ -886,7 +892,7 @@ class ParallelScenarioExecutor:
                                 task[0],
                                 task[2],
                                 "PointTimeout",
-                                f"exceeded the per-point wall-clock budget of "
+                                "exceeded the per-point wall-clock budget of "
                                 f"{self.retry.timeout_seconds}s",
                             ):
                                 schedule_retry(task)
@@ -962,7 +968,7 @@ def merge_runs(runs: Sequence[ScenarioRun]) -> ScenarioRun:
     missing = sorted(set(range(expected)) - set(merged) - set(failures))
     if missing:
         raise ConfigurationError(
-            f"merged shards do not cover the full grid; missing point "
+            "merged shards do not cover the full grid; missing point "
             f"index(es) {missing[:10]}{'...' if len(missing) > 10 else ''} "
             f"of {expected}"
         )

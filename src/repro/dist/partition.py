@@ -104,7 +104,7 @@ def parse_shard(shard: ShardLike) -> Tuple[int, int]:
             index, count = int(index), int(count)
         except (TypeError, ValueError):
             raise ConfigurationError(
-                f"shard must be an 'i/k' string or an (index, count) pair, "
+                "shard must be an 'i/k' string or an (index, count) pair, "
                 f"got {shard!r}"
             ) from None
     if count < 1:

@@ -108,7 +108,7 @@ class RetryPolicy:
             )
         if not isinstance(self.max_pool_restarts, int) or self.max_pool_restarts < 0:
             raise ConfigurationError(
-                f"max_pool_restarts must be a non-negative int, "
+                "max_pool_restarts must be a non-negative int, "
                 f"got {self.max_pool_restarts!r}"
             )
 
@@ -202,7 +202,7 @@ class SweepInterrupted(ReproError):
         self.stream_dir = stream_dir
         if checkpoint_dir:
             resume_hint = (
-                f"; resume with the same checkpoint directory "
+                "; resume with the same checkpoint directory "
                 f"({checkpoint_dir}) and resume=True (CLI: --resume)"
             )
         elif stream_dir:

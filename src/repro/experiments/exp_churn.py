@@ -65,9 +65,10 @@ def run_experiment(
         for name, factory in protocols.items():
             churn_factory = None
             if leave_rate > 0 or join_rate > 0:
-                churn_factory = lambda lr=leave_rate, jr=join_rate: UniformChurn(
-                    leave_rate=lr, join_rate=jr, target_degree=degree
-                )
+
+                def churn_factory(lr=leave_rate, jr=join_rate):
+                    return UniformChurn(leave_rate=lr, join_rate=jr, target_degree=degree)
+
             results = runner.broadcast(
                 size,
                 degree,

@@ -64,8 +64,11 @@ def run_experiment(
     )
 
     fixed_n = sweep.sizes[-1]
-    one_call = lambda n: PushPullProtocol(n_estimate=n)
-    four_choice = lambda n: Algorithm1(n_estimate=n)
+    def one_call(n):
+        return PushPullProtocol(n_estimate=n)
+
+    def four_choice(n):
+        return Algorithm1(n_estimate=n)
 
     # Degree sweep at fixed n: the one-call cost should fall like 1/log d.
     for d in degree_list:

@@ -19,12 +19,12 @@ import math
 from typing import TYPE_CHECKING, Optional
 
 from ..spec.run import run_spec
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..dist.progress import ProgressCallback
 from ..spec.scenario import GraphSpec, ProtocolSpec, ScenarioSpec, SweepAxis, SweepSpec
 from .tables import Table
 from .workloads import DEFAULT_DEGREE, SweepSizes, full_sizes, quick_sizes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dist.progress import ProgressCallback
 
 __all__ = ["run_experiment", "scenario"]
 

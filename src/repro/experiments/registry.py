@@ -8,7 +8,7 @@ for that mapping.
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict
+from typing import Dict
 
 from ..core.errors import ExperimentError
 from . import (
@@ -33,7 +33,10 @@ __all__ = ["EXPERIMENTS", "run_experiment_by_id", "available_experiments"]
 #: Experiment id -> (description, runner callable).
 EXPERIMENTS: Dict[str, tuple] = {
     "E1": ("round complexity (O(log n) rounds)", exp_round_complexity.run_experiment),
-    "E2": ("message complexity (O(n log log n) vs Θ(n log n))", exp_message_complexity.run_experiment),
+    "E2": (
+        "message complexity (O(n log log n) vs Θ(n log n))",
+        exp_message_complexity.run_experiment,
+    ),
     "E3": ("one-call lower bound Ω(n log n / log d)", exp_lower_bound.run_experiment),
     "E4": ("Algorithm 1 phase dynamics and α ablation", exp_phase_dynamics.run_experiment),
     "E5": ("push vs pull vs push&pull on complete graphs", exp_push_vs_pull.run_experiment),

@@ -9,7 +9,7 @@ diffed across runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from ..core.errors import ExperimentError
 
@@ -81,7 +81,9 @@ class Table:
             for row in self.rows
         ]
         widths = [
-            max(len(column), *(len(r[i]) for r in formatted_rows)) if formatted_rows else len(column)
+            max(len(column), *(len(r[i]) for r in formatted_rows))
+            if formatted_rows
+            else len(column)
             for i, column in enumerate(self.columns)
         ]
         header = " | ".join(

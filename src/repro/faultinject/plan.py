@@ -36,7 +36,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ConfigurationError, ReproError
 from ..core.rng import RandomSource, derive_seed

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.errors import ConfigurationError
+from ..core.rng import RandomSource
 from .base import Graph
 
 __all__ = ["SpectralEstimate", "estimate_second_eigenvalue", "spectral_expansion_profile"]
@@ -92,7 +93,9 @@ def estimate_second_eigenvalue(
 
     indptr, indices = _adjacency_arrays(graph)
     n = graph.node_count
-    rng = np.random.default_rng(seed)
+    # RandomSource seeds its generator exactly as default_rng(seed) would, so
+    # routing through it keeps historical estimates bit-identical.
+    rng = RandomSource(seed=seed, name="spectra").generator
     vector = rng.standard_normal(n)
     vector -= vector.mean()
     vector /= np.linalg.norm(vector)

@@ -1,0 +1,66 @@
+"""Baseline files: land new rules warn-first without blocking CI.
+
+A baseline is simply a committed JSON lint report (the exact document
+``repro lint --format json`` prints, written by ``--write-baseline``).  When
+a run is given ``--baseline file.json``, findings already accounted for in
+the baseline are masked and only the *excess* fails the gate, so a freshly
+added rule with pre-existing violations can ship enforcing "no new
+violations" while the backlog is burned down.
+
+Matching is per ``(path, rule)`` count rather than per exact line: edits
+above a known violation move its line number, and a line-keyed baseline
+would misreport that drift as one new finding plus one fixed.  Within a
+``(path, rule)`` group the *first* ``n`` findings in line order are masked —
+if the group's count grows, the report shows the trailing (newest-looking)
+locations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .diagnostics import Diagnostic, LintReport, parse_report, render_json
+
+__all__ = ["load_baseline", "apply_baseline", "write_baseline"]
+
+BaselineCounts = Counter  # (path, rule) -> allowed findings
+
+
+def load_baseline(path: Path) -> "Counter[Tuple[str, str]]":
+    """Per-``(path, rule)`` allowance counts from a committed baseline file."""
+    report = parse_report(Path(path).read_text(encoding="utf-8"))
+    counts: Counter = Counter()
+    for diagnostic in report.diagnostics:
+        counts[(diagnostic.path, diagnostic.rule)] += 1
+    return counts
+
+
+def apply_baseline(
+    report: LintReport, counts: "Counter[Tuple[str, str]]"
+) -> LintReport:
+    """Mask baselined findings; only the excess remains in the report."""
+    grouped: Dict[Tuple[str, str], List[Diagnostic]] = {}
+    for diagnostic in report.diagnostics:  # already in (path, line) order
+        grouped.setdefault((diagnostic.path, diagnostic.rule), []).append(diagnostic)
+    kept: List[Diagnostic] = []
+    masked = 0
+    for key, diagnostics in grouped.items():
+        allowed = counts.get(key, 0)
+        masked += min(allowed, len(diagnostics))
+        kept.extend(diagnostics[allowed:])
+    kept.sort()
+    return LintReport(
+        diagnostics=kept,
+        files_checked=report.files_checked,
+        suppressed=report.suppressed,
+        baselined=report.baselined + masked,
+    )
+
+
+def write_baseline(report: LintReport, path: Path) -> Path:
+    """Write ``report`` as the new committed baseline; returns the path."""
+    destination = Path(path)
+    destination.write_text(render_json(report) + "\n", encoding="utf-8")
+    return destination

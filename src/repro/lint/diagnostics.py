@@ -1,0 +1,160 @@
+"""Diagnostic records and report rendering for the determinism linter.
+
+A :class:`Diagnostic` pins one contract violation to an exact source
+location (``path:line:col``), names the rule that fired, and carries a fix
+hint so the finding is actionable without opening the rule's documentation.
+Reports render either as human-readable text (one line per finding, the
+``file:line:col: RULE-ID message`` shape editors and CI annotations parse)
+or as a stable JSON document (``schema_version`` gated, used by the CI gate
+and by ``--baseline`` files).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "Diagnostic",
+    "LintReport",
+    "render_text",
+    "render_json",
+    "parse_report",
+    "sorted_diagnostics",
+]
+
+#: Version stamp of the JSON report format (and therefore of baseline files).
+#: Bump on any backwards-incompatible change to the document shape.
+LINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where, which rule, what is wrong, and how to fix it.
+
+    Ordering is lexicographic on ``(path, line, col, rule)`` so reports are
+    deterministic regardless of rule execution order.
+    """
+
+    path: str  #: repo-relative posix path of the offending file
+    line: int  #: 1-based source line
+    col: int  #: 1-based source column
+    rule: str  #: rule id, e.g. ``"SEED001"``
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """The canonical one-line text form: ``path:line:col: RULE message``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Diagnostic":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            rule=str(payload["rule"]),
+            message=str(payload.get("message", "")),
+            hint=str(payload.get("hint", "")),
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of files."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0  #: findings masked by ``# lint: disable=`` comments
+    baselined: int = 0  #: findings masked by a ``--baseline`` file
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def counts(self) -> Dict[str, int]:
+        """Findings per rule id, sorted by id."""
+        counter = Counter(diag.rule for diag in self.diagnostics)
+        return {rule: counter[rule] for rule in sorted(counter)}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": LINT_SCHEMA_VERSION,
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "counts": self.counts(),
+            "diagnostics": [diag.to_dict() for diag in self.diagnostics],
+        }
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one diagnostic per line plus a summary line."""
+    lines = [diag.render() for diag in report.diagnostics]
+    if report.clean:
+        summary = f"clean: {report.files_checked} file(s), no findings"
+    else:
+        per_rule = ", ".join(
+            f"{rule} x{count}" for rule, count in report.counts().items()
+        )
+        summary = (
+            f"{len(report.diagnostics)} finding(s) in "
+            f"{report.files_checked} file(s) ({per_rule})"
+        )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if extras:
+        summary += f" [{', '.join(extras)}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable report (also the ``--write-baseline`` format)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=False)
+
+
+def parse_report(text: str) -> LintReport:
+    """Parse a JSON report produced by :func:`render_json` (baseline loading)."""
+    payload = json.loads(text)
+    version = payload.get("schema_version")
+    if version != LINT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint report schema_version {version!r} "
+            f"(this build reads version {LINT_SCHEMA_VERSION})"
+        )
+    report = LintReport(
+        diagnostics=[
+            Diagnostic.from_dict(entry) for entry in payload.get("diagnostics", [])
+        ],
+        files_checked=int(payload.get("files_checked", 0)),
+        suppressed=int(payload.get("suppressed", 0)),
+        baselined=int(payload.get("baselined", 0)),
+    )
+    report.diagnostics.sort()
+    return report
+
+
+def sorted_diagnostics(diags: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Diagnostics in canonical report order."""
+    return sorted(diags)

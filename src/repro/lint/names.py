@@ -1,0 +1,74 @@
+"""Import-alias tracking and dotted-name resolution for lint rules.
+
+Several rules ban *modules* (``random``, ``numpy.random``) or *callables*
+(``time.time``, ``datetime.datetime.now``) rather than syntactic spellings,
+so a call site must be resolved through whatever aliases the file's imports
+introduced: ``import numpy as np`` makes ``np.random.default_rng(...)`` a
+``numpy.random`` use, ``from time import time as now`` makes ``now()`` a
+``time.time`` use.  :class:`ImportMap` records those bindings and
+:func:`resolve_call_name` turns a call's function expression back into the
+fully-qualified dotted name the rules match against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+__all__ = ["ImportMap", "dotted_parts", "resolve_call_name"]
+
+
+class ImportMap:
+    """Mapping of locally-bound names to the dotted origin they refer to."""
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def collect(self, tree: ast.AST) -> "ImportMap":
+        """Record every import binding in ``tree`` (at any nesting depth)."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        # ``import numpy.random as nr`` binds nr -> numpy.random
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the *root* name numpy
+                        root = alias.name.split(".")[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never reach the banned stdlib names
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+        return self
+
+    def resolve(self, parts: List[str]) -> str:
+        """Expand the leading segment of ``parts`` through the alias table."""
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+
+def dotted_parts(node: ast.expr) -> Optional[List[str]]:
+    """The ``["a", "b", "c"]`` chain of an ``a.b.c`` expression, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+def resolve_call_name(call: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Fully-qualified dotted name of ``call``'s function, when resolvable."""
+    parts = dotted_parts(call.func)
+    if parts is None:
+        return None
+    return imports.resolve(parts)

@@ -1,0 +1,25 @@
+"""The shipped determinism-contract rules.
+
+Importing this package registers every built-in rule in
+:data:`repro.lint.rule.LINT_RULES`; adding a rule is one module with a
+``@register_rule`` class plus an import line here (and a docs subsection —
+``tests/test_lint.py`` asserts the registry and ``docs/API.md`` §11 agree).
+"""
+
+from __future__ import annotations
+
+from .durability_discipline import DurabilityDisciplineRule
+from .exception_hygiene import ExceptionHygieneRule
+from .pickle_boundary import PickleBoundaryRule
+from .rng_discipline import RngDisciplineRule
+from .seed_stability import SeedStabilityRule
+from .vector_hooks import VectorHookContractRule
+
+__all__ = [
+    "DurabilityDisciplineRule",
+    "ExceptionHygieneRule",
+    "PickleBoundaryRule",
+    "RngDisciplineRule",
+    "SeedStabilityRule",
+    "VectorHookContractRule",
+]

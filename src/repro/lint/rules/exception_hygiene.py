@@ -1,0 +1,103 @@
+"""EXC001 — failure paths keep typed exceptions; nothing is silently swallowed.
+
+Invariant: the fault-tolerance machinery (``repro.dist``) is a contract
+about *which* exceptions mean what — ``PointFailure`` records carry the
+original type name, ``BrokenExecutor`` triggers pool restarts,
+``SinkFullError`` / ``SweepInterrupted`` map to specific exit codes, and the
+torn-tail recovery distinguishes checksum failures from I/O errors.  A bare
+``except:`` (which also eats ``KeyboardInterrupt`` / ``SystemExit`` and
+breaks the clean-shutdown path) or an ``except Exception: pass`` in that
+subsystem erases exactly the type information the recovery semantics are
+built on.
+
+The rule flags bare ``except:`` clauses everywhere it patrols, and —
+inside ``src/repro/dist/`` — ``except Exception`` / ``except BaseException``
+handlers whose body does nothing but ``pass`` / ``continue`` / ``...``.
+Deliberate best-effort teardown sites (e.g. terminating an already-dead
+worker process) carry ``# lint: disable=EXC001 -- reason`` annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..rule import (
+    ZONE_BENCHMARKS,
+    ZONE_EXAMPLES,
+    ZONE_PACKAGE,
+    LintContext,
+    Rule,
+    register_rule,
+)
+
+__all__ = ["ExceptionHygieneRule"]
+
+_RECOVERY_PREFIX = "src/repro/dist/"
+_BROAD_TYPES = {"Exception", "BaseException"}
+
+
+def _is_broad(annotation: ast.expr) -> bool:
+    """True if the handler catches Exception/BaseException (incl. in tuples)."""
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _BROAD_TYPES
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _BROAD_TYPES
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(element) for element in annotation.elts)
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body only passes/continues (no record, no re-raise)."""
+    for statement in handler.body:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    id = "EXC001"
+    slug = "exception-hygiene"
+    summary = (
+        "no bare except:, and no swallowed except Exception in the "
+        "repro.dist recovery paths — typed failures are the contract"
+    )
+    hint = (
+        "catch the specific exception type the contract names, or record the "
+        "failure; deliberate best-effort teardown needs "
+        "'# lint: disable=EXC001 -- reason'"
+    )
+    zones = frozenset({ZONE_PACKAGE, ZONE_BENCHMARKS, ZONE_EXAMPLES})
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        in_recovery_path = ctx.relpath.startswith(_RECOVERY_PREFIX)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "bare except: catches SystemExit/KeyboardInterrupt and "
+                    "hides the failure type",
+                )
+            elif in_recovery_path and _is_broad(node.type) and _swallows(node):
+                caught = (
+                    node.type.id
+                    if isinstance(node.type, ast.Name)
+                    else "a broad exception"
+                )
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"except {caught} that only passes swallows the typed "
+                    "failure the executor/sink recovery contract relies on",
+                )

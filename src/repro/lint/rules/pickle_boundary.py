@@ -1,0 +1,158 @@
+"""PKL001 — nothing unpicklable crosses the ``repro.dist`` process boundary.
+
+Invariant: parallel sweeps rebuild every task in the worker from serialized
+single-point specs; the submit path (``executor.submit`` / ``apply_async`` /
+pool initializers / ``Process(target=...)``) therefore only ever carries
+module-level callables and plain data.  A lambda, a function defined inside
+another function, or a lock object pickles either not at all or — with
+forked interpreters — into subtle non-determinism, and the failure surfaces
+only when the pool first dispatches, deep inside a long sweep.
+
+The rule flags lambdas, locally-defined (nested) functions, and freshly
+constructed ``threading`` / ``multiprocessing`` lock primitives appearing as
+arguments at those boundary call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..diagnostics import Diagnostic
+from ..names import ImportMap, dotted_parts, resolve_call_name
+from ..rule import ZONE_PACKAGE, LintContext, Rule, register_rule
+
+__all__ = ["PickleBoundaryRule"]
+
+#: Method names whose every argument must be picklable.
+_BOUNDARY_METHODS = {
+    "submit",
+    "apply_async",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "imap",
+    "imap_unordered",
+}
+
+#: Constructors whose named kwargs carry callables into child processes.
+_BOUNDARY_CONSTRUCTORS = {
+    "ProcessPoolExecutor": ("initializer",),
+    "Pool": ("initializer",),
+    "Process": ("target",),
+}
+
+#: Lock-like primitives that must never ride in a submitted payload.
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Event",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+    "multiprocessing.Condition",
+    "multiprocessing.Semaphore",
+    "multiprocessing.Event",
+}
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Walks the module tracking which names are nested-function bindings."""
+
+    def __init__(self, rule: "PickleBoundaryRule", ctx: LintContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.imports = ImportMap().collect(ctx.tree)
+        self.nested_names: List[Set[str]] = []  # one frame per enclosing function
+        self.findings: List[Diagnostic] = []
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def _enter_function(self, node) -> None:
+        frame = {
+            child.name
+            for child in ast.walk(node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not node
+        }
+        self.nested_names.append(frame)
+        self.generic_visit(node)
+        self.nested_names.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+
+    def _is_nested_function(self, name: str) -> bool:
+        return any(name in frame for frame in self.nested_names)
+
+    # -- boundary detection ------------------------------------------------
+
+    def _offence(self, value: ast.expr) -> Optional[str]:
+        """Why ``value`` cannot cross the process boundary, or ``None``."""
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.Name) and self._is_nested_function(value.id):
+            return f"nested function {value.id!r}"
+        if isinstance(value, ast.Call):
+            name = resolve_call_name(value, self.imports)
+            if name in _LOCK_FACTORIES:
+                return f"a {name}() lock primitive"
+        if isinstance(value, (ast.Tuple, ast.List)):
+            for element in value.elts:
+                reason = self._offence(element)
+                if reason:
+                    return reason
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        checked: List[ast.expr] = []
+        where = None
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BOUNDARY_METHODS
+        ):
+            checked = list(node.args) + [kw.value for kw in node.keywords if kw.arg]
+            where = f".{node.func.attr}()"
+        else:
+            parts = dotted_parts(node.func)
+            tail = parts[-1] if parts else None
+            if tail in _BOUNDARY_CONSTRUCTORS:
+                wanted = _BOUNDARY_CONSTRUCTORS[tail]
+                checked = [
+                    kw.value for kw in node.keywords if kw.arg in wanted
+                ]
+                where = f"{tail}(...)"
+        for value in checked:
+            reason = self._offence(value)
+            if reason:
+                self.findings.append(
+                    self.rule.diagnostic(
+                        self.ctx,
+                        value,
+                        f"{reason} passed through the process boundary at "
+                        f"{where} cannot be pickled deterministically",
+                    )
+                )
+        self.generic_visit(node)
+
+
+@register_rule
+class PickleBoundaryRule(Rule):
+    id = "PKL001"
+    slug = "pickle-boundary"
+    summary = (
+        "only module-level callables and plain data may cross the repro.dist "
+        "process boundary (no lambdas, nested functions, or locks)"
+    )
+    hint = (
+        "hoist the callable to module level (workers re-import it by "
+        "qualified name) and pass state as plain serialisable data"
+    )
+    zones = frozenset({ZONE_PACKAGE})
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        visitor = _ScopeVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

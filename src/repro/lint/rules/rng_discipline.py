@@ -1,0 +1,114 @@
+"""RNG001 — all randomness must flow through ``RandomSource`` / ``derive_seed``.
+
+Invariant: every stochastic draw in the simulator comes from a named child
+stream of the master seed (:mod:`repro.core.rng`), so a run is a pure
+function of ``(seed, parameters)`` and adding draws in one component cannot
+perturb another.  Direct use of ``random``, ``numpy.random``, ``os.urandom``,
+``secrets``, or ``uuid`` creates entropy outside that tree and silently
+breaks batch/parallel/resume bit-parity.  ``core/rng.py`` is the one module
+allowed to touch the underlying generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..names import ImportMap, resolve_call_name
+from ..rule import (
+    ZONE_BENCHMARKS,
+    ZONE_EXAMPLES,
+    ZONE_PACKAGE,
+    LintContext,
+    Rule,
+    register_rule,
+)
+
+__all__ = ["RngDisciplineRule"]
+
+#: Modules whose import alone is a finding (their whole API is off-limits).
+_BANNED_MODULES = {"random", "secrets", "uuid"}
+
+#: Dotted prefixes whose *calls* are findings.
+_BANNED_PREFIXES = ("random.", "numpy.random.", "secrets.", "uuid.")
+
+#: Exact dotted callables that are findings.
+_BANNED_CALLS = {"os.urandom"}
+
+#: The one module allowed to construct generators.
+_EXEMPT_FILES = {"src/repro/core/rng.py"}
+
+
+@register_rule
+class RngDisciplineRule(Rule):
+    id = "RNG001"
+    slug = "rng-discipline"
+    summary = (
+        "all randomness flows through RandomSource/derive_seed; direct "
+        "random/numpy.random/os.urandom/secrets/uuid use breaks bit-parity"
+    )
+    hint = (
+        "draw from a RandomSource child stream (rng.spawn(label)) or derive a "
+        "seed with repro.core.rng.derive_seed; only core/rng.py touches "
+        "numpy.random directly"
+    )
+    zones = frozenset({ZONE_PACKAGE, ZONE_BENCHMARKS, ZONE_EXAMPLES})
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return super().applies_to(ctx) and ctx.relpath not in _EXEMPT_FILES
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        imports = ImportMap().collect(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_MODULES or alias.name.startswith(
+                        "numpy.random"
+                    ):
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r} bypasses the "
+                            "RandomSource seed discipline",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue
+                root = node.module.split(".")[0]
+                if root in _BANNED_MODULES or node.module == "numpy.random":
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"import from {node.module!r} bypasses the "
+                        "RandomSource seed discipline",
+                    )
+                else:
+                    for alias in node.names:
+                        full = f"{node.module}.{alias.name}"
+                        if full == "numpy.random":
+                            yield self.diagnostic(
+                                ctx,
+                                node,
+                                "import of numpy.random bypasses the "
+                                "RandomSource seed discipline",
+                            )
+                        elif full == "os.urandom":
+                            yield self.diagnostic(
+                                ctx,
+                                node,
+                                "import of os.urandom draws OS entropy outside "
+                                "the seed tree",
+                            )
+            elif isinstance(node, ast.Call):
+                name = resolve_call_name(node, imports)
+                if name is None:
+                    continue
+                if name in _BANNED_CALLS or name.startswith(_BANNED_PREFIXES):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"call to {name}() draws randomness outside the "
+                        "RandomSource stream tree",
+                    )

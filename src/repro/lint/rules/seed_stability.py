@@ -1,0 +1,86 @@
+"""SEED001 — seeds and labels must be process-stable functions of the master seed.
+
+Invariant: every run seed is ``derive_seed(master_seed, *labels)`` where the
+labels are stable strings, so re-running a point — in another process, on
+another worker, after a crash — re-derives bit-identical streams.  Builtin
+``hash()`` is randomised per process (``PYTHONHASHSEED``), ``id()`` is a
+memory address, and wall-clock reads differ across runs by construction;
+none of them may feed seeds, labels, or result payloads.  This is the exact
+bug class PR 3 removed from experiment E5, which seeded replications with
+``hash(f"E5-{n}-{i}")`` and quietly produced different streams in every
+worker process.
+
+The rule flags *any* use of the banned callables in simulator code: a
+legitimate non-seed use (e.g. a wall-clock provenance timestamp) must carry
+a ``# lint: disable=SEED001 -- <why this never feeds a seed>`` annotation,
+which is the documentation the next reader needs anyway.  Monotonic timing
+(``time.perf_counter``, ``time.monotonic``) is not flagged — durations are
+not identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..names import ImportMap, resolve_call_name
+from ..rule import (
+    ZONE_BENCHMARKS,
+    ZONE_EXAMPLES,
+    ZONE_PACKAGE,
+    LintContext,
+    Rule,
+    register_rule,
+)
+
+__all__ = ["SeedStabilityRule"]
+
+#: Builtins that are unstable across processes / runs.
+_BANNED_BUILTINS = {
+    "hash": "builtin hash() is randomised per process (PYTHONHASHSEED); "
+    "values derived from it differ between workers and runs",
+    "id": "id() is a memory address; it differs between processes and runs",
+}
+
+#: Wall-clock callables (resolved through import aliases).
+_BANNED_CALLS = {
+    "time.time": "wall-clock time.time() differs on every run",
+    "time.time_ns": "wall-clock time.time_ns() differs on every run",
+    "datetime.datetime.now": "wall-clock datetime.now() differs on every run",
+    "datetime.datetime.utcnow": "wall-clock datetime.utcnow() differs on every run",
+    "datetime.datetime.today": "wall-clock datetime.today() differs on every run",
+    "datetime.date.today": "wall-clock date.today() differs on every run",
+}
+
+
+@register_rule
+class SeedStabilityRule(Rule):
+    id = "SEED001"
+    slug = "seed-stability"
+    summary = (
+        "seeds/labels are derive_seed(master_seed, *labels) only; builtin "
+        "hash(), id(), and wall-clock reads are process-unstable (the E5 bug)"
+    )
+    hint = (
+        "derive seeds with repro.core.rng.derive_seed(master_seed, *labels); "
+        "a deliberate non-seed use needs '# lint: disable=SEED001 -- reason'"
+    )
+    zones = frozenset({ZONE_PACKAGE, ZONE_BENCHMARKS, ZONE_EXAMPLES})
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        imports = ImportMap().collect(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id in _BANNED_BUILTINS:
+                yield self.diagnostic(ctx, node, _BANNED_BUILTINS[node.func.id])
+                continue
+            name = resolve_call_name(node, imports)
+            if name in _BANNED_CALLS:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"{_BANNED_CALLS[name]}; it must never feed seeds, "
+                    "labels, or result payloads",
+                )

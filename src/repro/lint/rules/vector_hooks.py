@@ -1,0 +1,104 @@
+"""VEC001 — capability flags must come with their ``vector_*`` hook methods.
+
+Invariant: the vectorized engines trust three opt-in class flags.
+``supports_vectorized = True`` promises the bulk decision hooks
+(``vector_fanout`` / ``vector_wants_push`` / ``vector_wants_pull``) agree
+node-for-node with the scalar ones; ``uses_index_pools = True`` promises at
+least one index-pool hook (``vector_push_samplers`` / ``vector_caller_pool``)
+actually exists, otherwise the flag silently buys nothing; and
+``has_custom_vector_targets = True`` promises a ``vector_call_targets``
+implementation.  A flag without its hooks either crashes mid-sweep (the base
+class stubs raise) or — worse — runs a different draw sequence than the
+scalar engine and breaks parity.  The check is structural, at class
+definition level, resolving base classes *by name across the whole linted
+file set* so hooks provided by an intermediate base in another module count.
+
+Raising stubs do not count as implementations, and neither does anything
+defined on the class that *declares* the flag with a ``False`` default (the
+abstract interface, i.e. ``BroadcastProtocol``): the contract must be
+discharged below its root.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..rule import ZONE_PACKAGE, LintContext, Rule, register_rule
+
+__all__ = ["VectorHookContractRule"]
+
+#: flag -> (mode, required method names); ``all`` needs every name, ``any``
+#: needs at least one.
+_CONTRACTS = {
+    "supports_vectorized": (
+        "all",
+        ("vector_fanout", "vector_wants_push", "vector_wants_pull"),
+    ),
+    "uses_index_pools": (
+        "any",
+        ("vector_push_samplers", "vector_caller_pool"),
+    ),
+    "has_custom_vector_targets": ("all", ("vector_call_targets",)),
+}
+
+
+@register_rule
+class VectorHookContractRule(Rule):
+    id = "VEC001"
+    slug = "vector-hook-contract"
+    summary = (
+        "a class setting supports_vectorized/uses_index_pools/"
+        "has_custom_vector_targets must concretely define the matching "
+        "vector_* hooks (in itself or a non-abstract base)"
+    )
+    hint = (
+        "implement the missing vector_* hook(s) so the bulk engines run the "
+        "same draw sequence as the scalar path, or drop the capability flag"
+    )
+    zones = frozenset({ZONE_PACKAGE})
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            records = [
+                rec
+                for rec in ctx.classes.definitions(node.name)
+                if rec.relpath == ctx.relpath and rec.lineno == node.lineno
+            ]
+            if not records:
+                continue
+            record = records[0]
+            for flag, (mode, required) in _CONTRACTS.items():
+                declared = record.flags.get(flag)
+                if declared is None or declared[0] is not True:
+                    continue
+                provided = set()
+                for ancestor in ctx.classes.ancestry(record, stop_flag=flag):
+                    provided.update(
+                        name
+                        for name, concrete in ancestor.methods.items()
+                        if concrete
+                    )
+                missing = [name for name in required if name not in provided]
+                satisfied = (
+                    not missing if mode == "all" else len(missing) < len(required)
+                )
+                if satisfied:
+                    continue
+                wanted = (
+                    " and ".join(missing)
+                    if mode == "all"
+                    else " or ".join(required)
+                )
+                _, lineno, col = declared
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"class {node.name} sets {flag} = True but defines no "
+                    f"concrete {wanted}",
+                    line=lineno,
+                    col=col,
+                )

@@ -1,0 +1,83 @@
+"""Parsing of ``# lint: disable=RULE-ID`` suppression comments.
+
+Grammar (whitespace-tolerant)::
+
+    # lint: disable=SEED001
+    # lint: disable=SEED001,DUR001 -- reason the violation is deliberate
+    # lint: disable=all -- escape hatch, suppresses every rule on the line
+
+A suppression masks findings **on its own line**; a comment that stands alone
+on a line (nothing but whitespace before the ``#``) instead masks the next
+line that holds code, so multi-clause statements can carry an explanation
+above rather than a trailing comment squeezed past the line-length limit.
+
+Comments are located with :mod:`tokenize` rather than string search, so a
+``"# lint: disable=..."`` inside a string literal is never treated as a
+suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+__all__ = ["collect_suppressions", "is_suppressed", "SUPPRESS_ALL"]
+
+#: Token accepted in place of a rule id to suppress every rule.
+SUPPRESS_ALL = "all"
+
+_DIRECTIVE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_*,\s-]+?)(?:\s+--\s+(?P<reason>.*))?$"
+)
+
+
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map of 1-based line number to the rule ids suppressed on that line."""
+    suppressions: Dict[int, Set[str]] = {}
+    pending: Dict[int, Set[str]] = {}  # own-line directives awaiting their target
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if not match:
+            continue
+        ids = {
+            part.strip()
+            for part in match.group(1).replace("*", SUPPRESS_ALL).split(",")
+            if part.strip()
+        }
+        if not ids:
+            continue
+        row, col = token.start
+        before = lines[row - 1][:col] if row - 1 < len(lines) else ""
+        if before.strip():
+            suppressions.setdefault(row, set()).update(ids)
+        else:
+            pending.setdefault(row, set()).update(ids)
+
+    # Own-line directives attach to the next line carrying actual code.
+    for row in sorted(pending):
+        target = row + 1
+        while target <= len(lines):
+            stripped = lines[target - 1].strip()
+            if stripped and not stripped.startswith("#"):
+                break
+            target += 1
+        suppressions.setdefault(target, set()).update(pending[row])
+    return suppressions
+
+
+def is_suppressed(rule_id: str, line: int, suppressions: Dict[int, Set[str]]) -> bool:
+    """True if ``rule_id`` is masked at ``line``."""
+    active = suppressions.get(line)
+    if not active:
+        return False
+    return rule_id in active or SUPPRESS_ALL in active

@@ -225,7 +225,9 @@ class ReplicatedDatabase:
 
     # -- main loop -------------------------------------------------------------------
 
-    def run(self, workload: UpdateWorkload, extra_rounds: Optional[int] = None) -> ReplicationReport:
+    def run(
+        self, workload: UpdateWorkload, extra_rounds: Optional[int] = None
+    ) -> ReplicationReport:
         """Run the gossip simulation until every update's horizon has passed.
 
         ``extra_rounds`` overrides the automatic horizon (useful to study

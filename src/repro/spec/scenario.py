@@ -232,10 +232,15 @@ class FailureSpec:
 def _validate_axis_path(path: str) -> Tuple[str, ...]:
     """Check a sweep-axis path and return its segments."""
     parts = tuple(path.split("."))
-    ok = (
-        (len(parts) == 3 and parts[0] in ("graph", "protocol", "failure") and parts[1] == "params")
-        or parts in (("graph", "instance"), ("protocol", "name"), ("protocol", "n_estimate"), ("failure", "model"))
+    exact_paths = (
+        ("graph", "instance"),
+        ("protocol", "name"),
+        ("protocol", "n_estimate"),
+        ("failure", "model"),
     )
+    ok = (
+        len(parts) == 3 and parts[0] in ("graph", "protocol", "failure") and parts[1] == "params"
+    ) or parts in exact_paths
     if not ok:
         raise ConfigurationError(
             f"invalid sweep-axis path {path!r}; expected one of "

@@ -29,7 +29,6 @@ from repro.dist import (
 )
 from repro.experiments.registry import run_experiment_by_id
 from repro.experiments.results_io import load_table_json, save_table_json
-from repro.experiments.runner import ExperimentRunner
 from repro.spec import (
     FailureSpec,
     GraphSpec,

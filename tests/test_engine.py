@@ -99,7 +99,9 @@ class TestBasicSemantics:
 
 class TestStoppingRules:
     def test_early_stop_vs_full_schedule(self, small_regular_graph):
-        protocol_factory = lambda: PushProtocol(n_estimate=64)
+        def protocol_factory():
+            return PushProtocol(n_estimate=64)
+
         early = run_broadcast(small_regular_graph, protocol_factory(), seed=5)
         full = run_broadcast(
             small_regular_graph,

@@ -16,7 +16,6 @@ from repro.experiments.workloads import (
     quick_sizes,
 )
 from repro.failures.churn import UniformChurn
-from repro.graphs.configuration_model import random_regular_graph
 from repro.protocols.push import PushProtocol
 
 

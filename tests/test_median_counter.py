@@ -67,7 +67,8 @@ class TestStateMachine:
             protocol.on_round_committed(round_index, states, set())
         assert protocol.state_of(0) == "C"
         # After state_c_rounds further rounds the node goes quiet.
-        for round_index in range(protocol.ctr_max + 1, protocol.ctr_max + protocol.state_c_rounds + 1):
+        first_d_round = protocol.ctr_max + protocol.state_c_rounds + 1
+        for round_index in range(protocol.ctr_max + 1, first_d_round):
             protocol.on_round_committed(round_index, states, set())
         assert protocol.state_of(0) == "D"
         assert not protocol.wants_push(caller, 99)

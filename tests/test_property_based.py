@@ -53,7 +53,10 @@ def test_sample_distinct_is_a_subset_without_replacement(seed, k, size):
     assert set(sample) <= set(items)
 
 
-@given(seed=st.integers(min_value=0, max_value=2**32), labels=st.lists(st.text(max_size=8), max_size=3))
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    labels=st.lists(st.text(max_size=8), max_size=3),
+)
 @RELAXED
 def test_spawned_streams_are_reproducible(seed, labels):
     a = RandomSource(seed=seed).spawn(*labels)
