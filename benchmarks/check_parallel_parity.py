@@ -13,7 +13,11 @@ never *what* it contains.
 kills, double transient errors, timeout stalls, and torn checkpoint writes
 must all be survived **bit-identically** to the serial table, and the
 poison-point plan must quarantine exactly its designed point while every
-other row still matches the serial run.
+other row still matches the serial run.  The chaos phase finishes with a
+churn-under-worker-faults plan: the bundled dynamic-membership sweep
+(``examples/specs/e8_churn.json``) run under the worker-kill plan must also
+recover bit-identically — vectorized churn state (tombstones, joins, node
+compaction) must survive a mid-sweep pool restart.
 
 Usage::
 
@@ -34,6 +38,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.spec import load_spec, run_spec  # noqa: E402
 
 DEFAULT_SPEC = REPO_ROOT / "examples" / "specs" / "e1_round_complexity.json"
+CHURN_SPEC = REPO_ROOT / "examples" / "specs" / "e8_churn.json"
 
 
 def main(argv=None) -> int:
@@ -170,7 +175,66 @@ def run_chaos(spec, point_count, workers, serial_table) -> int:
             f"chaos [{name}] {elapsed:.2f}s: survived bit-identically "
             f"({recovery})"
         )
-    return exit_code or run_stream_chaos(spec, point_count, workers, serial_table)
+    return (
+        exit_code
+        or run_stream_chaos(spec, point_count, workers, serial_table)
+        or run_churn_chaos(workers)
+    )
+
+
+def run_churn_chaos(workers) -> int:
+    """Worker-kill recovery over the bundled churn sweep, bit-identically.
+
+    Dynamic membership stresses exactly the state a restarted worker must
+    rebuild from nothing but the spec and seeds: tombstoned CSR rows,
+    stub-stealing joins, and node-axis compactions.  The recovered table must
+    equal the clean serial run bit for bit.
+    """
+    import tempfile
+
+    from repro.dist import RetryPolicy
+    from repro.faultinject import bundled_plans
+
+    spec = load_spec(CHURN_SPEC)
+    point_count = spec.sweep.size if spec.sweep else 1
+    serial_table = run_spec(spec).to_table()
+    plan = bundled_plans(point_count, stall_duration=8.0)["worker-kill"]
+    retry = RetryPolicy(
+        max_attempts=3, backoff_seconds=0.01, backoff_max_seconds=0.1,
+        timeout_seconds=30.0,
+    )
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        chaos_table = run_spec(
+            spec,
+            workers=workers,
+            retry=retry,
+            fault_plan=plan,
+            checkpoint_dir=checkpoint_dir,
+        ).to_table()
+    elapsed = time.perf_counter() - start
+    provenance = chaos_table.metadata["distributed"]
+    mismatched = [
+        attribute
+        for attribute in ("title", "columns", "rows", "notes")
+        if getattr(serial_table, attribute) != getattr(chaos_table, attribute)
+    ]
+    if provenance["failures"]:
+        mismatched.append(f"unexpected quarantine {provenance['failures']}")
+    if mismatched:
+        print(
+            f"CHURN CHAOS FAILURE [worker-kill]: differs from serial in "
+            f"{', '.join(mismatched)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"churn chaos [worker-kill] {elapsed:.2f}s: {spec.name} survived "
+        f"bit-identically ({len(chaos_table.rows)} rows, "
+        f"retries={provenance['retries']} "
+        f"pool_restarts={provenance['pool_restarts']})"
+    )
+    return 0
 
 
 def run_stream_chaos(spec, point_count, workers, serial_table) -> int:

@@ -37,6 +37,7 @@ from _memtrace import traced_peak_mb  # noqa: E402
 from repro.core.config import SimulationConfig  # noqa: E402
 from repro.core.engine import run_broadcast, run_broadcast_batch  # noqa: E402
 from repro.core.rng import RandomSource  # noqa: E402
+from repro.failures.churn import UniformChurn  # noqa: E402
 from repro.graphs.configuration_model import (  # noqa: E402
     pairing_multigraph,
     random_regular_graph,
@@ -100,6 +101,19 @@ def measure_current() -> dict:
             ),
             repetitions=3,
         ),
+        # Dynamic membership: tombstones + stub-stealing joins must stay a
+        # small constant factor over the static algorithm1 broadcast.
+        "algorithm1_churn_vectorized_4096": median_ms(
+            lambda: run_broadcast(
+                graph,
+                Algorithm1(n_estimate=N),
+                seed=3,
+                config=vector,
+                churn_model=UniformChurn(
+                    leave_rate=0.01, join_rate=0.01, target_degree=D
+                ),
+            )
+        ),
     }
 
 
@@ -127,11 +141,28 @@ def measure_memory() -> dict:
             graph_4096, PushProtocol(n_estimate=N), SWEEP_SEEDS, config=vector
         )
 
+    graph_100k = pairing_multigraph(100_000, 8, RandomSource(seed=7))
+    graph_100k.csr()
+    graph_100k.csr_stats()
+
+    def churn_100k():
+        run_broadcast(
+            graph_100k,
+            Algorithm1(n_estimate=100_000),
+            seed=11,
+            config=vector,
+            churn_model=UniformChurn(
+                leave_rate=0.01, join_rate=0.01, target_degree=8
+            ),
+        )
+
     million_push()  # warm graph-side caches out of the traces
     batched_sweep()
+    churn_100k()
     return {
         "push_broadcast_1e6_peak": traced_peak_mb(million_push),
         "batched_push_sweep_20x_4096_peak": traced_peak_mb(batched_sweep),
+        "churn_broadcast_1e5_peak": traced_peak_mb(churn_100k),
     }
 
 
@@ -146,6 +177,7 @@ def baseline_map(recorded: dict) -> dict:
         "algorithm2_vectorized_4096": baselines["algorithm2_broadcast_4096"]["vectorized"],
         "quasirandom_vectorized_4096": baselines["quasirandom_broadcast_4096"]["vectorized"],
         "batched_push_sweep_20x_4096": baselines["batched_push_sweep_20x_4096"]["batched"],
+        "algorithm1_churn_vectorized_4096": baselines["algorithm1_churn_4096"]["vectorized"],
     }
 
 
@@ -157,6 +189,7 @@ def memory_baseline_map(recorded: dict) -> dict:
         "batched_push_sweep_20x_4096_peak": memory[
             "batched_push_sweep_20x_4096_peak"
         ]["mb"],
+        "churn_broadcast_1e5_peak": memory["churn_broadcast_1e5_peak"]["mb"],
     }
 
 

@@ -51,7 +51,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return float(ordered[low])
     weight = position - low
-    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+    lo, hi = float(ordered[low]), float(ordered[high])
+    value = lo * (1.0 - weight) + hi * weight
+    # The products can underflow (denormals) or overflow (huge spreads) past
+    # the bracketing order statistics; the true percentile lies between them.
+    return min(max(value, lo), hi)
 
 
 def confidence_interval(values: Sequence[float], z: float = 1.96) -> tuple:

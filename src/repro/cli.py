@@ -12,8 +12,8 @@ The sub-commands cover the common workflows:
 * ``repro-broadcast experiment <id>`` — run one of the registered experiments
   (E1–E13) and print its table.
 * ``repro-broadcast list-protocols`` / ``list-graphs`` / ``list-failures`` /
-  ``list-experiments`` — discovery, backed by the unified registries,
-  including each entry's keyword parameters.
+  ``list-churn`` / ``list-experiments`` — discovery, backed by the unified
+  registries, including each entry's keyword parameters.
 * ``repro-broadcast lint`` — the determinism-contract checker
   (:mod:`repro.lint`); CI gates on it next to the parity tripwires.
 
@@ -34,6 +34,7 @@ from .core.rng import RandomSource, derive_seed
 from .experiments.registry import available_experiments, run_experiment_by_id
 from .experiments.results_io import save_table
 from .experiments.tables import Table
+from .failures.churn_registry import CHURN_MODELS
 from .failures.registry import FAILURE_MODELS
 from .graphs.registry import GRAPH_FAMILIES
 from .lint.cli import add_lint_parser, run_lint
@@ -275,6 +276,9 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "list-failures", help="list available failure models and their parameters"
     )
+    subparsers.add_parser(
+        "list-churn", help="list available churn models and their parameters"
+    )
     subparsers.add_parser("list-experiments", help="list registered experiments")
     add_lint_parser(subparsers)
     return parser
@@ -386,17 +390,22 @@ def _predict_point_engine(point_spec: ScenarioSpec, n: Optional[int]) -> str:
             point_spec.protocol.n_estimate or n or 1024
         )
         failure = point_spec.failure.build()
+        churn = point_spec.churn.build()
     except Exception as error:  # pragma: no cover - defensive
         return f"unknown ({error})"
     stub = Graph.from_edges(2, [(0, 1)])
     from .core.config import SimulationConfig
 
     reason = vectorization_unsupported_reason(
-        stub, protocol, config if config is not None else SimulationConfig(), failure
+        stub,
+        protocol,
+        config if config is not None else SimulationConfig(),
+        failure,
+        churn,
     )
     if reason is not None:
         return f"scalar ({reason})"
-    if point_spec.repetitions > 1 and point_spec.batch:
+    if point_spec.repetitions > 1 and point_spec.batch and churn is None:
         return "vectorized (batched)"
     return "vectorized (per-seed)"
 
@@ -629,6 +638,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _print_registry(GRAPH_FAMILIES)
     if args.command == "list-failures":
         return _print_registry(FAILURE_MODELS)
+    if args.command == "list-churn":
+        return _print_registry(CHURN_MODELS)
     if args.command == "list-experiments":
         return _run_list_experiments()
     if args.command == "lint":

@@ -62,6 +62,13 @@ class SimulationConfig:
         with ``stop_when_informed``).  Results are bit-identical either way;
         disabling it exists for benchmarking and debugging the compaction
         machinery itself.
+    churn_node_compaction:
+        Whether the vectorized engine's dynamic-membership mode renumbers
+        dead node ids away once a quarter of the id space is tombstoned (the
+        node-axis mirror of ``batch_row_compaction``).  Results are
+        bit-identical either way — every churn-path draw is renumbering
+        invariant — so disabling it exists for benchmarking and for the
+        compaction-parity tests.
     """
 
     max_rounds: Optional[int] = None
@@ -72,6 +79,7 @@ class SimulationConfig:
     stop_when_informed: bool = True
     engine: str = "auto"
     batch_row_compaction: bool = True
+    churn_node_compaction: bool = True
 
     def __post_init__(self) -> None:
         if self.max_rounds is not None and self.max_rounds <= 0:
@@ -102,6 +110,7 @@ class SimulationConfig:
             "stop_when_informed": self.stop_when_informed,
             "engine": self.engine,
             "batch_row_compaction": self.batch_row_compaction,
+            "churn_node_compaction": self.churn_node_compaction,
         }
         data.update(overrides)
         return SimulationConfig(**data)

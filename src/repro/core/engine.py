@@ -118,6 +118,7 @@ class RoundEngine:
 
         n_initial = self.graph.node_count
         self.protocol.reset()
+        self.churn_model.reset()
         states = StateTable(n=n_initial, source=source)
         horizon = self.protocol.horizon()
         if self.config.max_rounds is not None:
@@ -374,6 +375,7 @@ def run_broadcast_batch(
     source: int = 0,
     config: Optional[SimulationConfig] = None,
     failure_model: Optional[FailureModel] = None,
+    churn_model: Optional[ChurnModel] = None,
 ) -> list:
     """Run one broadcast per seed, batched into a single NumPy program.
 
@@ -384,15 +386,19 @@ def run_broadcast_batch(
     vectorized engine (the batch only adds ``metadata["batch_size"]``).
 
     One ``protocol`` instance drives all replications (it is reset at the
-    start of the batch).  When the combination cannot be vectorized the
-    function falls back to a per-seed :func:`run_broadcast` loop — unless
-    ``config.engine`` is ``"vectorized"``, in which case it raises like the
-    single-run dispatcher.
+    start of the batch).  When the combination cannot be batched the function
+    falls back to a per-seed :func:`run_broadcast` loop — churn in particular
+    always takes this path (membership diverges per replication), running
+    each seed on the single-run vectorized engine when admissible.  With
+    ``config.engine == "vectorized"`` the function raises, like the
+    single-run dispatcher, only when the per-seed path cannot vectorize
+    either.
     """
     cfg = config if config is not None else SimulationConfig()
+    single_reason: Optional[str] = "scalar engine forced"
     if cfg.engine != "scalar":
         reason = vectorization_unsupported_reason(
-            graph, protocol, cfg, failure_model, None, None
+            graph, protocol, cfg, failure_model, churn_model, None, batched=True
         )
         if reason is None:
             return BatchedVectorizedRoundEngine(
@@ -402,16 +408,24 @@ def run_broadcast_batch(
                 config=cfg,
                 failure_model=failure_model,
             ).run(source=source)
-        if cfg.engine == "vectorized":
+        single_reason = vectorization_unsupported_reason(
+            graph, protocol, cfg, failure_model, churn_model, None
+        )
+        if cfg.engine == "vectorized" and single_reason is not None:
             raise SimulationError(f"engine='vectorized' requested but {reason}")
+    # Scalar churn runs mutate the graph, so each seed gets its own copy;
+    # the vectorized engine works on a private CSR copy and needs none.
+    dynamic = churn_model is not None and not isinstance(churn_model, NoChurn)
+    copy_per_seed = dynamic and single_reason is not None
     return [
         run_broadcast(
-            graph=graph,
+            graph=graph.copy() if copy_per_seed else graph,
             protocol=protocol,
             source=source,
             seed=seed,
             config=cfg,
             failure_model=failure_model,
+            churn_model=churn_model,
         )
         for seed in seeds
     ]

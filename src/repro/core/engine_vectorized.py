@@ -73,7 +73,12 @@ when nothing the scalar engine offers beyond aggregates is requested:
 * the protocol opts in (``supports_vectorized``) and needs neither the
   per-channel exchange hook nor the contact-memory mechanism;
 * no tracer is attached (tracing is inherently per-event);
-* there is no churn (CSR requires a static contiguous id space);
+* churn, when present, is a model that opted into the bulk membership hook
+  (``ChurnModel.supports_vectorized`` / ``vector_apply``) driving a protocol
+  that opted into dynamic membership
+  (``BroadcastProtocol.supports_dynamic_membership``) — and the run is
+  single-seed (the batched engine rejects churn outright: replications'
+  graphs diverge, so there is no shared CSR to batch over);
 * the failure model is ``ReliableDelivery`` or ``IndependentLoss`` (arbitrary
   strategy objects cannot be batched);
 * the graph's node ids are contiguous ``0..n-1``.
@@ -81,8 +86,46 @@ when nothing the scalar engine offers beyond aggregates is requested:
 :func:`vectorization_unsupported_reason` centralises these checks and returns
 a human-readable reason (or ``None``) so the dispatcher and error messages
 stay in sync.  The batched engine accepts exactly the combinations the
-single-run engine accepts (``repro.core.engine.run_broadcast_batch`` owns the
-fallback to a per-seed loop).
+single-run engine accepts except churn (``batched=True`` names that reason;
+``repro.core.engine.run_broadcast_batch`` owns the fallback to a per-seed
+loop).
+
+Dynamic membership (vectorized churn)
+-------------------------------------
+With an opted-in churn model the single-run engine switches to *dynamic
+mode*: it copies the graph's CSR into private mutable arrays (the caller's
+graph object is never touched), enables tombstone masks on the state
+(:meth:`VectorState.enable_membership`), and applies the churn model's
+``vector_apply`` at the top of every round through a narrow mutation surface
+(:class:`VectorChurnOps`):
+
+* **departures** clear a node's flags, evict its id from every sorted index
+  pool (engine- and protocol-held), and mark it dead.  Its CSR row stays as
+  a *tombstone* — survivors' stubs that point at it are filtered out at call
+  time together with self-loops and failed channels, so survivors keep their
+  stub-count degree (the draw arithmetic never changes shape mid-round);
+* **joins** splice each joiner into ``max(1, target_degree // 2)`` uniformly
+  chosen live stubs by batched CSR edits — replace stub ``(u, v)`` with
+  ``(u, J)``/``(v, J)`` in place and append ``[u, v, …]`` as ``J``'s tail
+  row — so existing nodes keep their degree and id growth is append-only;
+* when a quarter of the id space is dead, **node compaction** renumbers it
+  away (the node-axis mirror of batch row compaction): the state planes are
+  sliced via :meth:`VectorState.compact_nodes`, the CSR is rebuilt through
+  the returned id-remap table (dead targets become ``-1`` sentinels), and
+  protocol-held pools remap through
+  :meth:`BroadcastProtocol.vector_compact_nodes`.
+
+Every random decision on this path — the churn models' draws and the
+engine's sampling — depends only on live-node *positions* (rank in ascending
+id order), live counts, and per-row stub counts, all invariant under the
+monotone compaction remap.  Vectorized churn is therefore draw-for-draw
+deterministic and bit-identical across compaction on/off
+(``SimulationConfig.churn_node_compaction``) and across every execution path
+that replays the same seeds (asserted in ``tests/test_churn_vectorized.py``).
+Scalar and vectorized churn agree *statistically*, not bit-for-bit: the
+scalar engine deletes departed nodes' edges outright (survivor degrees
+shrink) where this engine tombstones them (survivor stub-counts persist
+until their calls are filtered).
 """
 
 from __future__ import annotations
@@ -105,6 +148,7 @@ from .trace import NullTracer, Tracer
 __all__ = [
     "VectorizedRoundEngine",
     "BatchedVectorizedRoundEngine",
+    "VectorChurnOps",
     "vectorization_unsupported_reason",
 ]
 
@@ -120,8 +164,15 @@ def vectorization_unsupported_reason(
     failure_model: Optional[FailureModel] = None,
     churn_model: Optional[ChurnModel] = None,
     tracer: Optional[Tracer] = None,
+    batched: bool = False,
 ) -> Optional[str]:
-    """Why this run cannot use the bulk engine, or ``None`` if it can."""
+    """Why this run cannot use the bulk engine, or ``None`` if it can.
+
+    ``batched=True`` asks about the batched multi-seed engine, which rejects
+    all churn (replications' graphs diverge); the default asks about the
+    single-run engine, where churn is admissible for models and protocols
+    that opted into the dynamic-membership hooks.
+    """
     if not protocol.supports_vectorized:
         return f"protocol {protocol.name!r} does not implement the bulk hooks"
     if protocol.needs_exchange_hook:
@@ -154,7 +205,21 @@ def vectorization_unsupported_reason(
     if tracer is not None and not isinstance(tracer, NullTracer):
         return "a tracer is attached (tracing is per-event)"
     if churn_model is not None and not isinstance(churn_model, NoChurn):
-        return "a churn model is attached (bulk state requires a static network)"
+        if batched:
+            return (
+                "churn cannot run on the batched engine (membership diverges "
+                "per replication; run per-seed vectorized instead)"
+            )
+        if not getattr(churn_model, "supports_vectorized", False):
+            return (
+                f"churn model {type(churn_model).__name__} does not implement "
+                "the bulk membership hook (vector_apply)"
+            )
+        if not protocol.supports_dynamic_membership:
+            return (
+                f"protocol {protocol.name!r} does not support dynamic "
+                "membership (departures/joins mid-broadcast)"
+            )
     if failure_model is not None and not isinstance(
         failure_model, (ReliableDelivery, IndependentLoss)
     ):
@@ -271,6 +336,71 @@ def _resolve_failure_model(
             channel_failure_probability=config.channel_failure_probability,
         )
     return ReliableDelivery()
+
+
+class VectorChurnOps:
+    """The membership-mutation surface handed to ``ChurnModel.vector_apply``.
+
+    A thin, per-round view over the engine's dynamic-membership machinery:
+    ascending live-id queries plus the two mutators (bulk departures and
+    stub-stealing joins).  Churn models draw their own randomness from the
+    engine's dedicated ``"churn"`` stream and must keep every draw a function
+    of live *positions*, counts, and degrees only (renumbering invariance —
+    see :mod:`repro.failures.churn`).
+    """
+
+    __slots__ = ("_engine", "_state", "_round_index")
+
+    def __init__(
+        self, engine: "VectorizedRoundEngine", state: VectorState, round_index: int
+    ) -> None:
+        self._engine = engine
+        self._state = state
+        self._round_index = round_index
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Number of live nodes right now."""
+        return self._state.alive_count
+
+    @property
+    def source(self) -> int:
+        """Current id of the broadcast source (``-1`` if it departed)."""
+        return self._state.source
+
+    def live_nodes(self) -> np.ndarray:
+        """Ascending ids of all live nodes."""
+        return np.flatnonzero(self._state.alive)
+
+    def informed_nodes(self) -> np.ndarray:
+        """Ascending ids of live informed nodes (dead nodes never count)."""
+        return np.flatnonzero(self._state.informed)
+
+    def newly_informed_nodes(self) -> np.ndarray:
+        """Ascending ids of nodes informed exactly last round (the frontier)."""
+        state = self._state
+        return np.flatnonzero(
+            state.informed & (state.informed_round == self._round_index - 1)
+        )
+
+    # -- mutators --------------------------------------------------------------
+
+    def depart(self, ids: np.ndarray) -> None:
+        """Remove the (live, ascending) node ids in ``ids`` from the network."""
+        self._engine._depart_nodes(ids, self._state)
+
+    def join(
+        self, count: int, target_degree: int, generator: np.random.Generator
+    ) -> List[int]:
+        """Add ``count`` fresh nodes by stub-stealing splices; return their ids.
+
+        Draws exactly one ``generator.random(count · splices)`` batch for the
+        stub choices (splices = ``max(1, target_degree // 2)``), positions
+        taken uniformly over the live stub space snapshot at call time.
+        """
+        return self._engine._join_nodes(count, target_degree, generator, self._state)
 
 
 class _BulkEngineBase:
@@ -479,6 +609,14 @@ class VectorizedRoundEngine(_BulkEngineBase):
         self.rng = RandomSource(seed=seed, name="engine")
         self._protocol_gen = self.rng.spawn("protocol").generator
         self._failure_gen = self.rng.spawn("failures").generator
+        # Spawned with the scalar engine's label whether or not churn is
+        # attached (spawns are independent derivations, not stream draws).
+        self._churn_rng = self.rng.spawn("churn")
+        self._dynamic = not isinstance(self.churn_model, NoChurn)
+        self._state: Optional[VectorState] = None
+        self._departures_total = 0
+        self._arrivals_total = 0
+        self._node_compactions = 0
         self._init_failure_probabilities()
         self._init_bulk_state(graph)
 
@@ -491,9 +629,14 @@ class VectorizedRoundEngine(_BulkEngineBase):
 
         n = self.graph.node_count
         self.protocol.reset()
+        self.churn_model.reset()
         state = VectorState(n=n, source=source)
         if self.protocol.uses_index_pools:
             state.enable_index_tracking()
+        if self._dynamic:
+            state.enable_membership()
+            self._state = state
+            self._reset_dynamic_topology()
         horizon = self.protocol.horizon()
         if self.config.max_rounds is not None:
             horizon = min(horizon, self.config.max_rounds)
@@ -506,6 +649,8 @@ class VectorizedRoundEngine(_BulkEngineBase):
 
         for round_index in range(1, horizon + 1):
             rounds_executed = round_index
+            if self._dynamic:
+                self._apply_churn(round_index, state)
             record = self._run_round(round_index, state)
             totals["push"] += record.push_transmissions
             totals["pull"] += record.pull_transmissions
@@ -524,6 +669,22 @@ class VectorizedRoundEngine(_BulkEngineBase):
                     break
 
         success = bool(state.all_informed())
+        metadata = {
+            "protocol": self.protocol.describe(),
+            "failure_model": self.failure_model.describe(),
+            "churn_model": self.churn_model.describe(),
+            "final_node_count": (
+                state.alive_count if self._dynamic else self.graph.node_count
+            ),
+            "engine": "vectorized",
+        }
+        if self._dynamic:
+            metadata["churn"] = {
+                "departures": self._departures_total,
+                "arrivals": self._arrivals_total,
+                "node_compactions": self._node_compactions,
+            }
+            self._state = None
         return RunResult(
             n=n,
             protocol=self.protocol.name,
@@ -538,14 +699,204 @@ class VectorizedRoundEngine(_BulkEngineBase):
             final_informed=int(state.informed_count),
             history=history,
             phase_transmissions=phase_transmissions,
-            metadata={
-                "protocol": self.protocol.describe(),
-                "failure_model": self.failure_model.describe(),
-                "churn_model": self.churn_model.describe(),
-                "final_node_count": self.graph.node_count,
-                "engine": "vectorized",
-            },
+            metadata=metadata,
         )
+
+    # -- dynamic membership (vectorized churn) -------------------------------------
+
+    def _reset_dynamic_topology(self) -> None:
+        """Private mutable CSR copies for a fresh churn run.
+
+        The caller's graph is never mutated on this path — departures
+        tombstone rows, joins append — so re-running the engine (or running
+        many seeds over one graph) needs no ``graph.copy()``; each run
+        restarts from the graph's pristine CSR here.
+        """
+        indptr, indices = self.graph.csr()
+        self._indptr = np.array(indptr, copy=True)
+        self._indices = np.array(indices, copy=True)
+        self._n = self._indptr.size - 1
+        # Joiner degrees differ from the seed graph's, so the regular-graph
+        # shortcuts no longer hold; everything runs off per-row stub counts.
+        self._uniform_degree = None
+        self._invalidate_topology_caches()
+        self._departures_total = 0
+        self._arrivals_total = 0
+        self._node_compactions = 0
+
+    def _invalidate_topology_caches(self) -> None:
+        self._degrees_array = None
+        self._degree_positive_array = None
+        self._all_degrees_positive = None
+        self._nz_cache = None
+        self._channel_cost_cache = {}
+        self._channel_info_cache = {}
+
+    def _apply_churn(self, round_index: int, state: VectorState) -> None:
+        """Run the churn model's bulk hook, then compact if enough ids died."""
+        ops = VectorChurnOps(self, state, round_index)
+        event = self.churn_model.vector_apply(round_index, ops, self._churn_rng)
+        self._departures_total += event.departures
+        self._arrivals_total += event.arrivals
+        if self.config.churn_node_compaction:
+            dead = state.n - state.alive_count
+            # Same threshold as batch row compaction: each compaction costs
+            # one O(live + stubs) rebuild, so waiting for a quarter of the id
+            # space keeps total copy volume linear while the per-round scans
+            # track the live network instead of the tombstones.
+            if dead and dead * 4 >= state.n:
+                self._compact_nodes(state)
+
+    def _depart_nodes(self, ids: np.ndarray, state: VectorState) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        state.remove_nodes(ids)
+        self.protocol.vector_remove_nodes(ids, state)
+        # Degrees and cost arrays are untouched (tombstone rows keep their
+        # stubs); only the live-node aggregates change.
+        self._nz_cache = None
+        self._channel_info_cache = {}
+
+    def _join_nodes(
+        self,
+        count: int,
+        target_degree: int,
+        generator: np.random.Generator,
+        state: VectorState,
+    ) -> List[int]:
+        count = int(count)
+        if count <= 0:
+            return []
+        splices = max(1, int(target_degree) // 2)
+        # Snapshot the live stub space *before* growing: stub positions are
+        # (live-rank, offset) pairs, invariant under compaction renumbering.
+        alive_nodes = np.flatnonzero(state.alive)
+        base_n = state.n
+        degrees = self._degrees
+        live_degrees = degrees[alive_nodes].astype(np.int64, copy=False)
+        cum = np.cumsum(live_degrees)
+        total_stubs = int(cum[-1]) if cum.size else 0
+
+        new_ids = state.grow_nodes(count)
+        indptr = self._indptr
+        indices = self._indices
+        rows: List[List[int]] = [[] for _ in range(count)]
+        if total_stubs > 0:
+            uniforms = generator.random(count * splices)
+            positions = (uniforms * total_stubs).astype(np.int64)
+            np.minimum(positions, total_stubs - 1, out=positions)
+            owner_rank = np.searchsorted(cum, positions, side="right")
+            owners = alive_nodes[owner_rank]
+            offsets = positions - (cum[owner_rank] - live_degrees[owner_rank])
+            stub_pos = indptr[owners].astype(np.int64) + offsets
+            alive = state.alive
+            draw = 0
+            for j in range(count):
+                joiner = int(new_ids[j])
+                row = rows[j]
+                for _ in range(splices):
+                    u = int(owners[draw])
+                    pos = int(stub_pos[draw])
+                    draw += 1
+                    v = int(indices[pos])
+                    # Skip tombstones (dead or -1 targets), self-loop stubs,
+                    # and targets without a CSR row yet (same-round joiners)
+                    # — the bulk analog of the scalar path's has_edge check.
+                    if v < 0 or v >= base_n or v == u or not alive[v]:
+                        continue
+                    back = np.flatnonzero(
+                        indices[indptr[v] : indptr[v + 1]] == u
+                    )
+                    if back.size == 0:
+                        continue
+                    indices[pos] = joiner
+                    indices[int(indptr[v]) + int(back[0])] = joiner
+                    row.append(u)
+                    row.append(v)
+
+        lengths = np.fromiter(
+            (len(row) for row in rows), count=count, dtype=indptr.dtype
+        )
+        new_indptr = np.empty(indptr.size + count, dtype=indptr.dtype)
+        new_indptr[: indptr.size] = indptr
+        np.cumsum(lengths, out=new_indptr[indptr.size :])
+        new_indptr[indptr.size :] += indptr[-1]
+        tail_parts = [
+            np.asarray(row, dtype=indices.dtype) for row in rows if row
+        ]
+        if tail_parts:
+            self._indices = np.concatenate([indices] + tail_parts)
+        self._indptr = new_indptr
+        self._n = new_indptr.size - 1
+        self._invalidate_topology_caches()
+        return [int(node) for node in new_ids]
+
+    def _compact_nodes(self, state: VectorState) -> None:
+        """Renumber dead ids away: state planes, CSR, and protocol pools.
+
+        The remap is monotone on survivors (``remap[keep[i]] = i``), so every
+        position/degree-based draw downstream is unchanged — compaction
+        on/off is bit-transparent, mirroring batch row compaction.
+        """
+        keep = np.flatnonzero(state.alive)
+        indptr = self._indptr
+        indices = self._indices
+        remap = state.compact_nodes(keep)
+        lengths = np.diff(indptr)[keep]
+        total = int(lengths.sum())
+        new_indptr = np.zeros(keep.size + 1, dtype=indptr.dtype)
+        np.cumsum(lengths, out=new_indptr[1:])
+        if total:
+            starts = np.repeat(indptr[keep], lengths)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(lengths) - lengths, lengths
+            )
+            values = indices[starts + within]
+            # Dead targets (stale ids and prior -1 sentinels) all map to -1:
+            # remap already carries -1 for dropped ids, so only the -1
+            # entries themselves need the index guard.
+            sentinel = values < 0
+            safe = np.where(sentinel, 0, values)
+            mapped = remap[safe].astype(indices.dtype, copy=False)
+            mapped[sentinel] = -1
+            self._indices = mapped
+        else:
+            self._indices = np.empty(0, dtype=indices.dtype)
+        self._indptr = new_indptr
+        self._n = keep.size
+        self.protocol.vector_compact_nodes(remap, state)
+        self._invalidate_topology_caches()
+        self._node_compactions += 1
+
+    # -- dynamic-aware CSR aggregates ----------------------------------------------
+
+    def _nz(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._dynamic:
+            return super()._nz()
+        # Dynamic mode: "every node with a neighbour" additionally means
+        # *live* — dead rows are tombstones that must never sample.
+        if self._nz_cache is None:
+            alive = self._state.alive
+            if self._all_positive():
+                nodes = np.flatnonzero(alive)
+            else:
+                nodes = np.flatnonzero(alive & self._degree_positive)
+            nodes = nodes.astype(self._indices.dtype, copy=False)
+            self._nz_cache = (nodes, self._degrees[nodes])
+        return self._nz_cache
+
+    def _channel_info(self, fanout: int) -> Tuple[int, Optional[int]]:
+        if not self._dynamic:
+            return super()._channel_info(fanout)
+        cached = self._channel_info_cache.get(fanout)
+        if cached is None:
+            total = int(
+                self._channel_cost_array(fanout)[self._state.alive].sum()
+            )
+            cached = (total, None)
+            self._channel_info_cache[fanout] = cached
+        return cached
 
     # -- round mechanics -------------------------------------------------------------
 
@@ -642,11 +993,17 @@ class VectorizedRoundEngine(_BulkEngineBase):
             )
 
         # Self-calls (self-loop stubs) count as opened channels but never
-        # connect; failed channels are unusable for both directions.  On a
+        # connect; failed channels are unusable for both directions; under
+        # churn, stubs pointing at departed nodes (or compaction's -1
+        # sentinels) are tombstones that connect nowhere.  On a static
         # self-loop-free graph with reliable channels nothing can be
         # filtered, so the pass is skipped outright.
-        if self._has_self_loops or self._channel_fail_p > 0.0:
+        if self._dynamic or self._has_self_loops or self._channel_fail_p > 0.0:
             usable = callers != callees
+            if self._dynamic and callees.size:
+                valid = callees >= 0
+                usable &= valid
+                usable &= state.alive[np.where(valid, callees, 0)]
             if self._channel_fail_p > 0.0 and callers.size:
                 usable &= self._failure_gen.random(callers.size) >= self._channel_fail_p
             if not usable.all():
@@ -757,7 +1114,13 @@ class BatchedVectorizedRoundEngine(_BulkEngineBase):
         self.seeds = [int(seed) for seed in seeds]
 
         reason = vectorization_unsupported_reason(
-            graph, protocol, self.config, self.failure_model, self.churn_model, tracer
+            graph,
+            protocol,
+            self.config,
+            self.failure_model,
+            self.churn_model,
+            tracer,
+            batched=True,
         )
         if reason is not None:
             raise SimulationError(f"run cannot be vectorized: {reason}")

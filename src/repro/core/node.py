@@ -20,7 +20,13 @@ from typing import Dict, Optional, Set
 
 import numpy as np
 
-__all__ = ["NodeState", "StateTable", "VectorState", "merge_sorted_disjoint"]
+__all__ = [
+    "NodeState",
+    "StateTable",
+    "VectorState",
+    "merge_sorted_disjoint",
+    "remove_sorted_values",
+]
 
 
 def merge_sorted_disjoint(base: np.ndarray, newly: np.ndarray) -> np.ndarray:
@@ -41,6 +47,26 @@ def merge_sorted_disjoint(base: np.ndarray, newly: np.ndarray) -> np.ndarray:
     merged[mask] = newly
     merged[~mask] = base
     return merged
+
+
+def remove_sorted_values(base: np.ndarray, drop: np.ndarray) -> np.ndarray:
+    """Remove the values of sorted ``drop`` from sorted ``base``.
+
+    O(drop · log base) via binary search — values of ``drop`` absent from
+    ``base`` are ignored.  The membership layer uses this to evict departed
+    node ids from the engines' sorted index pools without rescanning them.
+    """
+    if base.size == 0 or drop.size == 0:
+        return base
+    positions = np.searchsorted(base, drop)
+    in_range = positions < base.size
+    positions = positions[in_range]
+    hits = positions[base[positions] == drop[in_range]]
+    if hits.size == 0:
+        return base
+    keep = np.ones(base.size, dtype=bool)
+    keep[hits] = False
+    return base[keep]
 
 
 @dataclass
@@ -282,6 +308,8 @@ class VectorState:
         "_track_indices",
         "_informed_flat",
         "_newly_flat",
+        "_alive",
+        "_alive_count",
     )
 
     def __init__(self, n: int, source: int, batch: Optional[int] = None) -> None:
@@ -308,6 +336,8 @@ class VectorState:
         self._track_indices = False
         self._informed_flat: Optional[np.ndarray] = None
         self._newly_flat: Optional[np.ndarray] = None
+        self._alive: Optional[np.ndarray] = None
+        self._alive_count: Optional[int] = None
 
     # -- lazily allocated flag planes -----------------------------------------
 
@@ -387,6 +417,132 @@ class VectorState:
         else:
             self._informed_flat = merge_sorted_disjoint(self._informed_flat, newly)
 
+    # -- dynamic membership (tombstone masks; single-run states only) ----------
+
+    def enable_membership(self) -> None:
+        """Track node-axis membership for churn runs (tombstone masks).
+
+        Departed nodes stay as *dead rows* in the state arrays — their flags
+        cleared, their ids evicted from the index pools — until the engine's
+        threshold-triggered :meth:`compact_nodes` renumbers them away.  Joins
+        grow the arrays at the tail (:meth:`grow_nodes`), so live ids are
+        always ``flatnonzero(alive)``.  Membership is a single-run feature:
+        the batched engine rejects churn (per-replication graphs diverge).
+        """
+        if self.batch is not None:
+            raise ValueError("dynamic membership requires an unbatched state")
+        self._alive = np.ones(self.n, dtype=bool)
+        self._alive_count = self.n
+
+    @property
+    def membership_enabled(self) -> bool:
+        """Whether :meth:`enable_membership` has been called."""
+        return self._alive is not None
+
+    @property
+    def alive(self) -> np.ndarray:
+        """``bool[n]`` liveness plane (membership tracking only)."""
+        if self._alive is None:
+            raise RuntimeError("enable_membership() has not been called")
+        return self._alive
+
+    @property
+    def alive_count(self) -> int:
+        """Number of live nodes (``n`` when membership is not tracked)."""
+        if self._alive is None:
+            return self.n
+        return self._alive_count
+
+    def remove_nodes(self, ids: np.ndarray) -> int:
+        """Tombstone the (live, ascending) node ids in ``ids``.
+
+        Clears every per-node flag and evicts the ids from the sorted index
+        pools, so a departed node can neither push, pull, nor count as
+        informed from this point on.  Returns how many of the removed nodes
+        were informed (the engine's informed-count bookkeeping).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return 0
+        alive = self.alive
+        informed_removed = int(np.count_nonzero(self.informed[ids]))
+        alive[ids] = False
+        self._alive_count -= int(ids.size)
+        self.informed[ids] = False
+        self.informed_round[ids] = -1
+        if self._active is not None:
+            self._active[ids] = False
+        if self._pending is not None:
+            self._pending[ids] = False
+        self._informed_count -= informed_removed
+        if self._track_indices:
+            self._informed_flat = remove_sorted_values(self._informed_flat, ids)
+            self._newly_flat = remove_sorted_values(self._newly_flat, ids)
+        return informed_removed
+
+    def grow_nodes(self, count: int) -> np.ndarray:
+        """Append ``count`` fresh live, uninformed nodes; return their ids.
+
+        New ids are always the tail of the id space (``n .. n+count-1``), so
+        sorted pools stay sorted and the engine's CSR rows can be appended in
+        the same order.
+        """
+        if self._alive is None:
+            raise RuntimeError("enable_membership() has not been called")
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        old_n = self.n
+        self.informed = np.concatenate([self.informed, np.zeros(count, dtype=bool)])
+        self.informed_round = np.concatenate(
+            [self.informed_round, np.full(count, -1, dtype=np.int32)]
+        )
+        if self._active is not None:
+            self._active = np.concatenate([self._active, np.zeros(count, dtype=bool)])
+        if self._pending is not None:
+            self._pending = np.concatenate(
+                [self._pending, np.zeros(count, dtype=bool)]
+            )
+        self._alive = np.concatenate([self._alive, np.ones(count, dtype=bool)])
+        self._alive_count += count
+        self.n = old_n + count
+        return np.arange(old_n, self.n, dtype=np.int64)
+
+    def compact_nodes(self, keep: np.ndarray) -> np.ndarray:
+        """Renumber the id space down to the (ascending) ids in ``keep``.
+
+        The node-axis mirror of :meth:`compact_rows`: every state plane is
+        sliced to the kept nodes and the sorted pools are renumbered through
+        the returned remap table (``int64[old_n]``; dropped ids map to
+        ``-1``).  The caller — the engine — applies the same table to its CSR
+        copy and to any protocol-held index pools, so every id table moves
+        through one remap.  The remap is monotone on survivors, which is what
+        keeps all position/degree-based draws bit-identical across compaction
+        on/off.
+        """
+        if self._alive is None:
+            raise RuntimeError("enable_membership() has not been called")
+        keep = np.asarray(keep, dtype=np.int64)
+        old_n = self.n
+        remap = np.full(old_n, -1, dtype=np.int64)
+        remap[keep] = np.arange(keep.size, dtype=np.int64)
+        self.informed = self.informed[keep]
+        self.informed_round = self.informed_round[keep]
+        if self._active is not None:
+            self._active = self._active[keep]
+        if self._pending is not None:
+            self._pending = self._pending[keep]
+        self._alive = np.ones(keep.size, dtype=bool)
+        self._alive_count = int(keep.size)
+        self.n = int(keep.size)
+        # Informed ⊆ alive (remove_nodes clears the flag), so every pooled id
+        # survives the remap; monotonicity preserves the sorted order.
+        if self._track_indices:
+            dtype = self.index_dtype
+            self._informed_flat = remap[self._informed_flat].astype(dtype, copy=False)
+            self._newly_flat = remap[self._newly_flat].astype(dtype, copy=False)
+        self.source = int(remap[self.source]) if 0 <= self.source < old_n else -1
+        return remap
+
     # -- aggregate queries -----------------------------------------------------
 
     @property
@@ -401,12 +557,12 @@ class VectorState:
 
     @property
     def uninformed_count(self):
-        """Uninformed nodes: an int, or an ``int64[R]`` array for a batch."""
-        return self.n - self._informed_count
+        """Uninformed *live* nodes: an int, or ``int64[R]`` for a batch."""
+        return self.alive_count - self._informed_count
 
     def all_informed(self):
-        """Whether every node is informed (per replication for a batch)."""
-        return self._informed_count == self.n
+        """Whether every live node is informed (per replication for a batch)."""
+        return self._informed_count == self.alive_count
 
     # -- round lifecycle -------------------------------------------------------
 

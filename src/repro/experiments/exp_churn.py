@@ -76,8 +76,15 @@ def run_experiment(
                 label=f"e8-{name}-{leave_rate}-{join_rate}",
                 churn_factory=churn_factory,
             )
+            # Extreme regimes can depopulate the network entirely; a run with
+            # no survivors contributes 0.0 (nobody left to be informed)
+            # instead of dividing by zero.
             informed_fraction = sum(
-                r.final_informed / r.metadata.get("final_node_count", r.n)
+                (
+                    r.final_informed / survivors
+                    if (survivors := r.metadata.get("final_node_count", r.n)) > 0
+                    else 0.0
+                )
                 for r in results
             ) / len(results)
             mean_rounds = sum(
@@ -102,6 +109,7 @@ def run_experiment(
 
     table.add_note(
         "informed_fraction counts informed peers among peers alive at the end; "
-        "limited churn should leave it near 1.0 for algorithm1."
+        "limited churn should leave it near 1.0 for algorithm1.  A run whose "
+        "churn removes every peer reports informed_fraction = 0.0."
     )
     return table

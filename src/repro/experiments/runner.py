@@ -65,10 +65,13 @@ def repeat_broadcast(
     runs all repetitions as one ``(R, n)`` NumPy program; each returned
     result is bit-identical to the corresponding per-seed run.  Otherwise a
     fresh protocol instance is built per run (protocols may hold per-run
-    state), the graph is copied per run when a churn model is supplied
-    because churn mutates it, and engine selection goes through
-    :func:`run_broadcast`, so sweeps still pick up the vectorized fast path
-    whenever the protocol and configuration allow it.
+    state) and engine selection goes through :func:`run_broadcast`, so sweeps
+    still pick up the vectorized fast path whenever the protocol and
+    configuration allow it.  Churn sweeps never batch (membership diverges
+    per replication) but do run per-seed on the single-run vectorized engine
+    when the model and protocol opt in; the graph is copied per run only when
+    a churn run lands on the scalar engine, which mutates it (the vectorized
+    engine works on a private CSR copy).
     """
     cfg = config if config is not None else SimulationConfig()
     if batch and len(seeds) > 1 and churn_factory is None and cfg.engine != "scalar":
@@ -86,13 +89,21 @@ def repeat_broadcast(
                 failure_model=failure_model,
             )
     results: List[RunResult] = []
+    needs_graph_copy: Optional[bool] = None
     for seed in seeds:
         protocol = protocol_factory(n_estimate)
-        run_graph = graph.copy() if churn_factory is not None else graph
         churn_model = churn_factory() if churn_factory is not None else None
+        if needs_graph_copy is None:
+            needs_graph_copy = churn_model is not None and (
+                cfg.engine == "scalar"
+                or vectorization_unsupported_reason(
+                    graph, protocol, cfg, failure_model, churn_model
+                )
+                is not None
+            )
         results.append(
             run_broadcast(
-                graph=run_graph,
+                graph=graph.copy() if needs_graph_copy else graph,
                 protocol=protocol,
                 source=source,
                 seed=seed,
@@ -358,6 +369,7 @@ class ExperimentRunner:
             seeds=seeds,
             config=config,
             failure_model=spec.failure.build(),
+            churn_factory=spec.churn.factory(),
             source=spec.source,
             batch=self.batch,
         )

@@ -1,6 +1,15 @@
 """Failure, churn, and estimation-error models used by the robustness experiments."""
 
-from .churn import ChurnEvent, ChurnModel, NoChurn, UniformChurn
+from .churn import (
+    AdversarialChurn,
+    BurstChurn,
+    ChurnEvent,
+    ChurnModel,
+    FlashCrowd,
+    NoChurn,
+    UniformChurn,
+)
+from .churn_registry import CHURN_MODELS, available_churn_models, build_churn_model
 from .estimates import EstimateError, distorted_estimate, estimate_grid
 from .message_loss import FailureModel, IndependentLoss, ReliableDelivery
 from .registry import FAILURE_MODELS, available_failure_models, build_failure_model
@@ -12,6 +21,9 @@ __all__ = [
     "ChurnModel",
     "NoChurn",
     "UniformChurn",
+    "BurstChurn",
+    "FlashCrowd",
+    "AdversarialChurn",
     "ChurnEvent",
     "EstimateError",
     "distorted_estimate",
@@ -19,4 +31,7 @@ __all__ = [
     "FAILURE_MODELS",
     "available_failure_models",
     "build_failure_model",
+    "CHURN_MODELS",
+    "available_churn_models",
+    "build_churn_model",
 ]

@@ -1,0 +1,85 @@
+"""The churn-model registry: string ids -> churn-model builders.
+
+Mirrors the protocol/graph/failure registries so scenario specs can name
+their membership regime declaratively (``"uniform"``, ``"burst"``,
+``"adversarial"``) and the CLI can list the available models with their
+kwargs (``repro list-churn``).  The ``"none"`` id is the declarative default
+and builds :class:`~repro.failures.churn.NoChurn`; :class:`ChurnSpec` maps
+it to "no churn model attached" so static runs stay on the static fast path.
+"""
+
+from __future__ import annotations
+
+from ..core.registry import Registry
+from .churn import AdversarialChurn, BurstChurn, ChurnModel, FlashCrowd, NoChurn, UniformChurn
+
+__all__ = ["CHURN_MODELS", "available_churn_models", "build_churn_model"]
+
+
+#: The shared registry instance for churn models.
+CHURN_MODELS = Registry("churn model")
+
+CHURN_MODELS.register(
+    "none",
+    NoChurn,
+    summary="static membership: the network does not change during the broadcast",
+)
+CHURN_MODELS.register(
+    "uniform",
+    UniformChurn,
+    summary="uniform random departures and stub-stealing joins at per-round rates",
+    params={
+        "leave_rate": "expected fraction of current nodes leaving per round",
+        "join_rate": "expected joiners per round as a fraction of current size",
+        "target_degree": "degree a joiner aims for when splicing in",
+        "protect_source": "never remove the broadcast source (default true)",
+        "max_rounds": "stop churning after this round (None = churn forever)",
+    },
+)
+CHURN_MODELS.register(
+    "burst",
+    BurstChurn,
+    summary="mass simultaneous departures at one chosen round (correlated failure)",
+    params={
+        "at_round": "the round in which the burst strikes",
+        "fraction": "fraction of current nodes removed at that round",
+        "protect_source": "never remove the broadcast source (default true)",
+    },
+)
+CHURN_MODELS.register(
+    "flash-crowd",
+    FlashCrowd,
+    summary="mass simultaneous stub-stealing joins at one chosen round",
+    params={
+        "at_round": "the round in which the crowd arrives",
+        "fraction": "arrivals as a fraction of the current network size",
+        "target_degree": "degree each joiner aims for when splicing in",
+    },
+)
+CHURN_MODELS.register(
+    "adversarial",
+    AdversarialChurn,
+    summary="departures targeting informed / newly-informed nodes (worst case)",
+    params={
+        "leave_rate": "per-round departure probability for each targeted node",
+        "join_rate": "expected joiners per round as a fraction of current size",
+        "target_degree": "degree a joiner aims for when splicing in",
+        "target": "'informed' or 'newly-informed' (the push frontier)",
+        "protect_source": "never remove the broadcast source (default true)",
+        "max_rounds": "stop churning after this round (None = churn forever)",
+    },
+)
+
+
+def available_churn_models() -> list:
+    """The sorted list of registered churn-model ids."""
+    return CHURN_MODELS.names()
+
+
+def build_churn_model(name: str, **kwargs) -> ChurnModel:
+    """Instantiate the churn model registered under ``name``.
+
+    Unknown names and unknown kwargs raise :class:`ConfigurationError` naming
+    the offending id or key.
+    """
+    return CHURN_MODELS.build(name, **kwargs)

@@ -30,7 +30,13 @@ from typing import Optional, Set
 import numpy as np
 
 from ..core.errors import ConfigurationError
-from ..core.node import NodeState, StateTable, VectorState, merge_sorted_disjoint
+from ..core.node import (
+    NodeState,
+    StateTable,
+    VectorState,
+    merge_sorted_disjoint,
+    remove_sorted_values,
+)
 from .base import BroadcastProtocol
 from .schedule import PhaseSchedule, algorithm1_schedule
 
@@ -60,6 +66,7 @@ class Algorithm1(BroadcastProtocol):
 
     name = "algorithm1"
     supports_vectorized = True
+    supports_dynamic_membership = True
 
     def __init__(
         self,
@@ -188,6 +195,19 @@ class Algorithm1(BroadcastProtocol):
         if self._active_flat is not None:
             self._active_flat = VectorState.compact_flat_indices(
                 self._active_flat, keep, n, old_batch
+            )
+
+    def vector_remove_nodes(self, ids: np.ndarray, state: VectorState) -> None:
+        if self._active_flat is not None and self._active_flat.size:
+            self._active_flat = remove_sorted_values(self._active_flat, ids)
+
+    def vector_compact_nodes(self, remap: np.ndarray, state: VectorState) -> None:
+        # Active nodes are alive by construction (departures evict them via
+        # vector_remove_nodes), so the remap has no -1 hits here; it is
+        # monotone over survivors, so the sorted order is preserved.
+        if self._active_flat is not None and self._active_flat.size:
+            self._active_flat = remap[self._active_flat].astype(
+                self._active_flat.dtype, copy=False
             )
 
     # -- lifecycle -----------------------------------------------------------------

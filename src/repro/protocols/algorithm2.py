@@ -32,6 +32,7 @@ class Algorithm2(BroadcastProtocol):
 
     name = "algorithm2"
     supports_vectorized = True
+    supports_dynamic_membership = True
 
     def __init__(
         self,

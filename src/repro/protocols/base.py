@@ -239,6 +239,42 @@ class BroadcastProtocol(ABC):
         after the round's deliveries have committed.
         """
 
+    #: Opt-in for the vectorized engine's dynamic-membership (churn) mode.  A
+    #: protocol that sets this True promises its decisions remain well-defined
+    #: when nodes depart or join mid-broadcast: departed nodes are tombstoned
+    #: (their flags cleared, their ids retired) and joiners extend the id
+    #: space, so per-node protocol state must be index-positional and survive
+    #: :meth:`vector_remove_nodes` / :meth:`vector_compact_nodes`.  Stateless
+    #: protocols (push, pull, push-pull) can simply flip the flag; protocols
+    #: holding their own index pools (Algorithm 1's active set) must also
+    #: implement the two membership hooks.  The dispatcher refuses vectorized
+    #: churn for protocols that leave this False.
+    supports_dynamic_membership: bool = False
+
+    def vector_remove_nodes(self, ids: np.ndarray, state: VectorState) -> None:
+        """Evict departed node ids from protocol-held state (churn mode only).
+
+        Called by the vectorized engine's dynamic-membership mode immediately
+        after ``ids`` (sorted, ascending) have been tombstoned in ``state``.
+        The engine already clears the engine-owned planes (informed / active /
+        pending flags and the sorted index pools); protocols that mirror node
+        ids in their *own* structures — Algorithm 1's sorted active set, a
+        pointer table — must drop the departed entries here.  Stateless
+        protocols inherit the no-op.
+        """
+
+    def vector_compact_nodes(self, remap: np.ndarray, state: VectorState) -> None:
+        """Renumber protocol-held node ids after node-axis compaction.
+
+        Called when the dynamic-membership engine compacts tombstoned ids out
+        of the node axis: ``remap`` maps every old id to its new id (``-1``
+        for dropped ids; the map is monotone over surviving ids, so sorted
+        index vectors stay sorted under ``remap[vec]``).  ``state`` has
+        already been compacted.  Protocols that keep node ids outside the
+        engine-owned state must apply the remap here; stateless protocols
+        inherit the no-op.
+        """
+
     def vector_fanout(self, round_index: int) -> int:
         """Uniform per-node fanout for ``round_index`` (bulk engine only).
 

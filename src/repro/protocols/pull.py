@@ -26,6 +26,7 @@ class PullProtocol(BroadcastProtocol, OptionalHorizonMixin):
 
     name = "pull"
     supports_vectorized = True
+    supports_dynamic_membership = True
 
     def __init__(
         self,

@@ -40,6 +40,7 @@ class PushProtocol(BroadcastProtocol, OptionalHorizonMixin):
 
     name = "push"
     supports_vectorized = True
+    supports_dynamic_membership = True
 
     def __init__(
         self,

@@ -47,6 +47,9 @@ class PushPullProtocol(BroadcastProtocol, OptionalHorizonMixin):
 
     name = "push-pull"
     supports_vectorized = True
+    # Per-node decisions read only the engine-owned informed plane, which the
+    # dynamic-membership engine keeps consistent across departures and joins.
+    supports_dynamic_membership = True
 
     def __init__(
         self,

@@ -11,6 +11,7 @@ bit-for-bit.
 from .run import PointRun, ScenarioRun, run_spec
 from .scenario import (
     SCENARIO_SCHEMA,
+    ChurnSpec,
     FailureSpec,
     GraphSpec,
     ProtocolSpec,
@@ -26,6 +27,7 @@ __all__ = [
     "GraphSpec",
     "ProtocolSpec",
     "FailureSpec",
+    "ChurnSpec",
     "SweepAxis",
     "SweepSpec",
     "ScenarioSpec",

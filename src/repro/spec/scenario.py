@@ -29,6 +29,8 @@ from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
 from ..core.config import SimulationConfig
 from ..core.errors import ConfigurationError
 from ..core.rng import RandomSource
+from ..failures.churn import ChurnModel
+from ..failures.churn_registry import CHURN_MODELS, build_churn_model
 from ..failures.message_loss import FailureModel
 from ..failures.registry import FAILURE_MODELS, build_failure_model
 from ..graphs.base import Graph
@@ -41,6 +43,7 @@ __all__ = [
     "GraphSpec",
     "ProtocolSpec",
     "FailureSpec",
+    "ChurnSpec",
     "SweepAxis",
     "SweepSpec",
     "ScenarioSpec",
@@ -229,6 +232,60 @@ class FailureSpec:
         )
 
 
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Which membership regime applies, by churn-registry id.
+
+    ``"none"`` (the default) materialises to *no* churn model, which is
+    bit-identical to the hand-wired ``churn_model=None`` convention — static
+    scenarios stay on the static fast paths (including the batched engine).
+    Any other id names a :data:`CHURN_MODELS` entry; its params are validated
+    against the model's constructor at spec-construction time.
+    """
+
+    model: str = "none"
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        CHURN_MODELS.validate_kwargs(self.model, self.params)
+        missing = CHURN_MODELS.missing_required(self.model, self.params)
+        if missing:
+            raise ConfigurationError(
+                f"churn model {self.model!r} is missing required parameter(s) "
+                f"{', '.join(map(repr, missing))}"
+            )
+
+    def build(self) -> Optional[ChurnModel]:
+        """The churn model instance, or ``None`` for plain ``"none"``."""
+        if self.model == "none" and not self.params:
+            return None
+        return build_churn_model(self.model, **self.params)
+
+    def factory(self):
+        """A zero-arg churn-model factory, or ``None`` for plain ``"none"``.
+
+        The experiment runner builds one model per run on the scalar path
+        (churn mutates the graph there), so specs hand it a factory rather
+        than an instance.
+        """
+        if self.model == "none" and not self.params:
+            return None
+        return lambda: build_churn_model(self.model, **self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"model": self.model, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChurnSpec":
+        data = _require_mapping(data, "churn spec")
+        _reject_unknown_keys(data, ("model", "params"), "churn spec")
+        return cls(
+            model=data.get("model", "none"),
+            params=_require_mapping(data.get("params"), "churn params"),
+        )
+
+
 def _validate_axis_path(path: str) -> Tuple[str, ...]:
     """Check a sweep-axis path and return its segments."""
     parts = tuple(path.split("."))
@@ -237,16 +294,19 @@ def _validate_axis_path(path: str) -> Tuple[str, ...]:
         ("protocol", "name"),
         ("protocol", "n_estimate"),
         ("failure", "model"),
+        ("churn", "model"),
     )
     ok = (
-        len(parts) == 3 and parts[0] in ("graph", "protocol", "failure") and parts[1] == "params"
+        len(parts) == 3
+        and parts[0] in ("graph", "protocol", "failure", "churn")
+        and parts[1] == "params"
     ) or parts in exact_paths
     if not ok:
         raise ConfigurationError(
             f"invalid sweep-axis path {path!r}; expected one of "
             "'graph.params.<key>', 'graph.instance', 'protocol.name', "
             "'protocol.params.<key>', 'protocol.n_estimate', 'failure.model', "
-            "or 'failure.params.<key>'"
+            "'failure.params.<key>', 'churn.model', or 'churn.params.<key>'"
         )
     return parts
 
@@ -366,9 +426,9 @@ class ScenarioSpec:
     ----------
     name:
         Scenario id; used as the default table title and label template.
-    graph / protocol / failure:
+    graph / protocol / failure / churn:
         The component specs (see :class:`GraphSpec`, :class:`ProtocolSpec`,
-        :class:`FailureSpec`).
+        :class:`FailureSpec`, :class:`ChurnSpec`).
     sweep:
         Optional grid of :class:`SweepAxis` dimensions; ``None`` runs the
         single configured point.
@@ -398,6 +458,7 @@ class ScenarioSpec:
     graph: GraphSpec
     protocol: ProtocolSpec
     failure: FailureSpec = field(default_factory=FailureSpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
     sweep: Optional[SweepSpec] = None
     repetitions: int = 3
     master_seed: int = 2008
@@ -468,11 +529,13 @@ class ScenarioSpec:
         context.update(self.graph.params)
         context.update(self.failure.params)
         context.update(self.protocol.params)
+        context.update(self.churn.params)
         context.update(
             scenario=self.name,
             family=self.graph.family,
             protocol=self.protocol.name,
             model=self.failure.model,
+            churn=self.churn.model,
         )
         if self.protocol.n_estimate is not None:
             context["n_estimate"] = self.protocol.n_estimate
@@ -513,6 +576,7 @@ class ScenarioSpec:
             "graph": self.graph.to_dict(),
             "protocol": self.protocol.to_dict(),
             "failure": self.failure.to_dict(),
+            "churn": self.churn.to_dict(),
             "sweep": self.sweep.to_dict() if self.sweep is not None else None,
             "repetitions": self.repetitions,
             "master_seed": self.master_seed,
@@ -534,6 +598,7 @@ class ScenarioSpec:
                 "graph",
                 "protocol",
                 "failure",
+                "churn",
                 "sweep",
                 "repetitions",
                 "master_seed",
@@ -562,6 +627,7 @@ class ScenarioSpec:
             graph=GraphSpec.from_dict(data["graph"]),
             protocol=ProtocolSpec.from_dict(data["protocol"]),
             failure=FailureSpec.from_dict(data.get("failure", {})),
+            churn=ChurnSpec.from_dict(data.get("churn", {})),
             sweep=SweepSpec.from_dict(sweep_data) if sweep_data is not None else None,
             repetitions=data.get("repetitions", 3),
             master_seed=data.get("master_seed", 2008),

@@ -17,7 +17,7 @@ import pytest
 from repro.core.errors import ConfigurationError
 from repro.core.node import StateTable
 from repro.core.rng import RandomSource
-from repro.failures.churn import UniformChurn
+from repro.failures.churn import AdversarialChurn, BurstChurn, UniformChurn
 from repro.failures.message_loss import IndependentLoss, ReliableDelivery
 from repro.graphs.base import Graph
 from repro.spec import (
@@ -221,3 +221,104 @@ class TestChurnOnTinyGraphs:
             self._churn(join_rate=-0.1)
         with pytest.raises(ConfigurationError, match="target_degree"):
             self._churn(target_degree=1)
+
+    def test_churn_ends_mid_broadcast_with_max_rounds(self):
+        # max_rounds=2: rounds 3+ must be no-ops — no departures, no joins,
+        # and (bernoulli with no candidates aside) no membership change.
+        graph = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        states = StateTable(n=3, source=0)
+        churn = self._churn(leave_rate=0.6, join_rate=0.6, max_rounds=2)
+        rng = RandomSource(seed=26)
+        for round_index in range(1, 3):
+            churn.apply(round_index, graph, states, rng)
+        frozen = sorted(graph.iter_nodes())
+        for round_index in range(3, 20):
+            event = churn.apply(round_index, graph, states, rng)
+            assert event.departed == [] and event.joined == []
+        assert sorted(graph.iter_nodes()) == frozen
+
+
+class TestAdversarialAndBurstEdges:
+    def test_burst_fires_exactly_once(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        states = StateTable(n=4, source=0)
+        churn = BurstChurn(at_round=3, fraction=1.0)
+        rng = RandomSource(seed=31)
+        removed_by_round = {}
+        for round_index in range(1, 6):
+            event = churn.apply(round_index, graph, states, rng)
+            removed_by_round[round_index] = len(event.departed)
+        # Everything except the protected source goes at round 3, nothing
+        # before or after.
+        assert removed_by_round == {1: 0, 2: 0, 3: 3, 4: 0, 5: 0}
+        assert sorted(graph.iter_nodes()) == [0]
+
+    def test_burst_on_singleton_graph_protects_source(self):
+        graph = Graph(range(1))
+        states = StateTable(n=1, source=0)
+        churn = BurstChurn(at_round=1, fraction=1.0)
+        event = churn.apply(1, graph, states, RandomSource(seed=32))
+        assert event.departed == []
+        assert 0 in graph
+
+    def test_burst_without_protection_can_empty_the_graph(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        states = StateTable(n=2, source=0)
+        churn = BurstChurn(at_round=1, fraction=1.0, protect_source=False)
+        event = churn.apply(1, graph, states, RandomSource(seed=33))
+        assert sorted(event.departed) == [0, 1]
+        assert len(graph) == 0
+
+    def test_adversarial_targets_only_informed_nodes(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        states = StateTable(n=4, source=0)
+        states[1].deliver(1)
+        states.commit_round()
+        churn = AdversarialChurn(leave_rate=1.0, target="informed")
+        event = churn.apply(2, graph, states, RandomSource(seed=34))
+        # Node 1 is informed and unprotected; 0 is informed but the source;
+        # 2 and 3 are uninformed and therefore never candidates.
+        assert event.departed == [1]
+
+    def test_adversarial_newly_informed_window_moves(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        states = StateTable(n=4, source=0)
+        states[1].deliver(1)
+        states.commit_round()
+        churn = AdversarialChurn(leave_rate=1.0, target="newly-informed")
+        # Round 2: node 1 was informed in round 1 -> the only target.
+        event = churn.apply(2, graph, states, RandomSource(seed=35))
+        assert event.departed == [1]
+        # Round 3: nobody was informed in round 2, so nothing to remove.
+        event = churn.apply(3, graph, states, RandomSource(seed=35))
+        assert event.departed == []
+
+    def test_adversarial_on_singleton_graph_is_a_no_op(self):
+        graph = Graph(range(1))
+        states = StateTable(n=1, source=0)
+        churn = AdversarialChurn(leave_rate=1.0, target="informed")
+        for round_index in range(1, 5):
+            event = churn.apply(round_index, graph, states, RandomSource(seed=36))
+            assert event.departed == []
+        assert 0 in graph
+
+    def test_adversarial_max_rounds_stops_the_attack(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        states = StateTable(n=4, source=0)
+        for node in (1, 2, 3):
+            states[node].deliver(1)
+        states.commit_round()
+        churn = AdversarialChurn(leave_rate=1.0, target="informed", max_rounds=1)
+        event = churn.apply(2, graph, states, RandomSource(seed=37))
+        assert event.departed == []
+        assert len(graph) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="at_round"):
+            BurstChurn(at_round=0, fraction=0.5)
+        with pytest.raises(ConfigurationError, match="fraction"):
+            BurstChurn(at_round=1, fraction=1.5)
+        with pytest.raises(ConfigurationError, match="target"):
+            AdversarialChurn(leave_rate=0.5, target="uninformed")
+        with pytest.raises(ConfigurationError, match="leave_rate"):
+            AdversarialChurn(leave_rate=-0.1)
